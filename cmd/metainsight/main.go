@@ -1,0 +1,117 @@
+// Command metainsight mines the top-k MetaInsights from a CSV file and
+// prints them with their commonness/exception structure.
+//
+// Usage:
+//
+//	metainsight -csv data.csv [-k 10] [-budget 10s] [-tau 0.5] [-workers 8]
+//	            [-flat] [-max-card 50]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"metainsight"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "path to the CSV file to analyze (required)")
+		k       = flag.Int("k", 10, "number of MetaInsights to suggest")
+		budget  = flag.Duration("budget", 15*time.Second, "mining time budget (0 = unlimited)")
+		tau     = flag.Float64("tau", 0.5, "commonness threshold τ")
+		workers = flag.Int("workers", 8, "evaluation worker goroutines")
+		depth   = flag.Int("depth", 3, "maximum subspace filters")
+		maxCard = flag.Int("max-card", 100, "drop categorical columns with more distinct values")
+		flat    = flag.Bool("flat", false, "also print each insight's flat-list representation")
+		asJSON  = flag.Bool("json", false, "emit the suggested insights as a JSON array")
+		derive  = flag.String("derive", "", "derive Year/Quarter/Month/Weekday columns from this date column before mining")
+		report  = flag.String("report", "", "write a markdown EDA report to this file")
+	)
+	flag.Parse()
+	if *csvPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: metainsight -csv data.csv [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	tab, err := metainsight.OpenCSV(*csvPath,
+		metainsight.WithMaxDimensionCardinality(*maxCard))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metainsight:", err)
+		os.Exit(1)
+	}
+	if *derive != "" {
+		tab, err = metainsight.DeriveTemporal(tab, *derive)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("dataset %q: %d rows × %d cols (%d cells)\n",
+		tab.Name(), tab.Rows(), tab.Cols(), tab.Cells())
+	for _, f := range tab.Fields() {
+		fmt.Printf("  %-30s %s\n", f.Name, f.Kind)
+	}
+
+	opts := []metainsight.Option{
+		metainsight.WithTau(*tau),
+		metainsight.WithWorkers(*workers),
+		metainsight.WithMaxSubspaceFilters(*depth),
+	}
+	if *budget > 0 {
+		opts = append(opts, metainsight.WithTimeBudget(*budget))
+	}
+	a, err := metainsight.NewAnalyzer(tab, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metainsight:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	result := a.Mine()
+	top := a.Rank(result, *k)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(top); err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("\nmined %d MetaInsight candidates in %v (%d queries executed, %d cache-served)\n\n",
+		len(result.MetaInsights), time.Since(start).Round(time.Millisecond),
+		result.Stats.ExecutedQueries, result.Stats.CacheServed)
+
+	for i, in := range top {
+		fmt.Printf("%2d. [score %.3f] %s\n", i+1, in.Score(), in.Description())
+		if *flat {
+			for _, line := range in.FlatList() {
+				fmt.Printf("      - %s\n", line)
+			}
+		}
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			os.Exit(1)
+		}
+		if err := a.WriteReport(f, top, tab.Name()); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreport written to %s\n", *report)
+	}
+}

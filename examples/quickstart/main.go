@@ -1,0 +1,59 @@
+// Quickstart: mine MetaInsights from the paper's running example — house
+// sales across California cities and months (Figure 1). Most cities have
+// their worst sales in April; San Diego's bad month is July (a
+// highlight-change exception), Fresno is uniform (type-change) and Yuba is
+// noise (no-pattern).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"metainsight"
+)
+
+func main() {
+	header := []string{"City", "Month", "Sales"}
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	valley := []float64{100, 70, 40, 10, 40, 70, 100, 100, 100, 100, 100, 100}
+	julyValley := []float64{100, 100, 100, 100, 70, 40, 10, 40, 70, 100, 100, 100}
+	flat := []float64{50, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50}
+	noise := []float64{20, 80, 80, 100, 20, 90, 60, 10, 70, 10, 50, 20}
+
+	var records [][]string
+	addCity := func(city string, series []float64) {
+		for m, v := range series {
+			records = append(records, []string{city, months[m], strconv.FormatFloat(v, 'f', -1, 64)})
+		}
+	}
+	for _, city := range []string{"Los Angeles", "San Francisco", "San Jose", "Oakland", "Sacramento"} {
+		addCity(city, valley)
+	}
+	addCity("San Diego", julyValley)
+	addCity("Fresno", flat)
+	addCity("Yuba", noise)
+
+	tab, err := metainsight.FromRecords("house-sales", header, records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	insights, err := metainsight.Analyze(tab, 5,
+		metainsight.WithMeasures(metainsight.Sum("Sales")))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Top %d MetaInsights over %q (%d rows):\n\n", len(insights), tab.Name(), tab.Rows())
+	for i, in := range insights {
+		fmt.Printf("%d. [score %.3f] %s\n", i+1, in.Score(), in.Description())
+	}
+
+	if len(insights) > 0 {
+		fmt.Println("\nFlat-list representation of #1 (what QuickInsight-style output looks like):")
+		for _, line := range insights[0].FlatList() {
+			fmt.Println("  -", line)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module metainsight
+
+go 1.24

@@ -1,0 +1,208 @@
+// Package cache implements the two caches of the MetaInsight mining
+// procedure (Section 4.2): the query cache, whose unit is a 2-dimensional
+// aggregation grid across all measures for one (subspace, breakdown) pair
+// (Figure 5), and the pattern cache, which memoizes data-pattern evaluation
+// results keyed by data scope (Section 4.2.3). Both caches expose hit-rate
+// and size statistics, reproduced in the paper's Table 3.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// UnitKey identifies one query-cache unit.
+type UnitKey struct {
+	Subspace  string // canonical subspace key (model.Subspace.Key)
+	Breakdown string // breakdown dimension name
+}
+
+// Unit is one query-cache entry: the aggregation of every measure column of
+// the table, grouped by the breakdown dimension, under a fixed subspace
+// filter — exactly the compound structure of the paper's Figure 5. It serves
+// basic queries for any measure in M (measure extension comes for free),
+// impact calculation (the impact measure is one of its columns), and the
+// sibling units written by an augmented query serve subspace extension.
+type Unit struct {
+	Key UnitKey
+	// GroupKeys are the breakdown values with at least one record, in
+	// domain order.
+	GroupKeys []string
+	// Counts[i] is the number of records in group i (always > 0).
+	Counts []float64
+	// Sums, Mins and Maxs hold, per measure column name, the aggregate for
+	// each group, aligned with GroupKeys. Together with Counts they answer
+	// SUM, COUNT, AVG, MIN and MAX without re-scanning.
+	Sums map[string][]float64
+	Mins map[string][]float64
+	Maxs map[string][]float64
+}
+
+// ApproxBytes estimates the in-memory footprint of the unit, used for the
+// cache-size statistics of Table 3.
+func (u *Unit) ApproxBytes() int64 {
+	n := int64(len(u.GroupKeys))
+	bytes := int64(64) // struct + maps overhead
+	for _, k := range u.GroupKeys {
+		bytes += int64(len(k)) + 16
+	}
+	cols := int64(len(u.Sums) + len(u.Mins) + len(u.Maxs) + 1)
+	bytes += cols * n * 8
+	return bytes
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+	Bytes   int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when no lookups occurred.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// QueryCache stores query-cache units. A disabled cache (see New) counts
+// every lookup as a miss and drops every Put, which is how the paper's
+// "w/o Query Cache" ablation is run. QueryCache is safe for concurrent use.
+type QueryCache struct {
+	enabled bool
+	mu      sync.RWMutex
+	units   map[UnitKey]*Unit
+	hits    atomic.Int64
+	misses  atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewQueryCache creates a query cache. If enabled is false the cache is a
+// no-op that still counts misses, for ablation experiments.
+func NewQueryCache(enabled bool) *QueryCache {
+	return &QueryCache{enabled: enabled, units: make(map[UnitKey]*Unit)}
+}
+
+// Enabled reports whether the cache stores anything.
+func (c *QueryCache) Enabled() bool { return c.enabled }
+
+// Get looks up the unit for (subspace, breakdown), counting a hit or miss.
+func (c *QueryCache) Get(subspace, breakdown string) (*Unit, bool) {
+	if !c.enabled {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.RLock()
+	u, ok := c.units[UnitKey{Subspace: subspace, Breakdown: breakdown}]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return u, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Peek looks up a unit without touching the hit/miss counters. The miner's
+// prefetch paths use it to avoid double-counting lookups it just performed.
+func (c *QueryCache) Peek(subspace, breakdown string) (*Unit, bool) {
+	if !c.enabled {
+		return nil, false
+	}
+	c.mu.RLock()
+	u, ok := c.units[UnitKey{Subspace: subspace, Breakdown: breakdown}]
+	c.mu.RUnlock()
+	return u, ok
+}
+
+// Put stores a unit, replacing any previous entry with the same key.
+func (c *QueryCache) Put(u *Unit) {
+	if !c.enabled {
+		return
+	}
+	c.mu.Lock()
+	if old, ok := c.units[u.Key]; ok {
+		c.bytes.Add(-old.ApproxBytes())
+	}
+	c.units[u.Key] = u
+	c.mu.Unlock()
+	c.bytes.Add(u.ApproxBytes())
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *QueryCache) Stats() Stats {
+	c.mu.RLock()
+	entries := int64(len(c.units))
+	c.mu.RUnlock()
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: entries,
+		Bytes:   c.bytes.Load(),
+	}
+}
+
+// PatternCache memoizes values of type V keyed by string (MetaInsight keys
+// pattern evaluations by data scope). A disabled cache counts misses and
+// stores nothing, matching the "w/o Pattern Cache" ablation. PatternCache is
+// safe for concurrent use.
+type PatternCache[V any] struct {
+	enabled bool
+	mu      sync.RWMutex
+	entries map[string]V
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewPatternCache creates a pattern cache; disabled caches are no-ops that
+// still count misses.
+func NewPatternCache[V any](enabled bool) *PatternCache[V] {
+	return &PatternCache[V]{enabled: enabled, entries: make(map[string]V)}
+}
+
+// Enabled reports whether the cache stores anything.
+func (c *PatternCache[V]) Enabled() bool { return c.enabled }
+
+// Get looks up key, counting a hit or miss.
+func (c *PatternCache[V]) Get(key string) (V, bool) {
+	var zero V
+	if !c.enabled {
+		c.misses.Add(1)
+		return zero, false
+	}
+	c.mu.RLock()
+	v, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	c.misses.Add(1)
+	return zero, false
+}
+
+// Put stores key → v.
+func (c *PatternCache[V]) Put(key string, v V) {
+	if !c.enabled {
+		return
+	}
+	c.mu.Lock()
+	c.entries[key] = v
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters. Bytes is left zero; the
+// pattern cache is reported by entry count in Table 3.
+func (c *PatternCache[V]) Stats() Stats {
+	c.mu.RLock()
+	entries := int64(len(c.entries))
+	c.mu.RUnlock()
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: entries,
+	}
+}

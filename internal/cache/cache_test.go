@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func unit(sub, breakdown string, groups int) *Unit {
+	u := &Unit{
+		Key:  UnitKey{Subspace: sub, Breakdown: breakdown},
+		Sums: map[string][]float64{}, Mins: map[string][]float64{}, Maxs: map[string][]float64{},
+	}
+	for i := 0; i < groups; i++ {
+		u.GroupKeys = append(u.GroupKeys, fmt.Sprintf("g%d", i))
+		u.Counts = append(u.Counts, 1)
+	}
+	u.Sums["V"] = make([]float64, groups)
+	u.Mins["V"] = make([]float64, groups)
+	u.Maxs["V"] = make([]float64, groups)
+	return u
+}
+
+func TestQueryCachePutGet(t *testing.T) {
+	c := NewQueryCache(true)
+	if _, ok := c.Get("{*}", "Month"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(unit("{*}", "Month", 12))
+	u, ok := c.Get("{*}", "Month")
+	if !ok || len(u.GroupKeys) != 12 {
+		t.Fatal("stored unit not returned")
+	}
+	if _, ok := c.Get("{*}", "City"); ok {
+		t.Fatal("wrong breakdown hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 1.0/3 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestQueryCachePeekDoesNotCount(t *testing.T) {
+	c := NewQueryCache(true)
+	c.Put(unit("a", "b", 3))
+	if _, ok := c.Peek("a", "b"); !ok {
+		t.Fatal("peek missed")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("peek touched counters: %+v", st)
+	}
+}
+
+func TestDisabledQueryCache(t *testing.T) {
+	c := NewQueryCache(false)
+	c.Put(unit("a", "b", 3))
+	if _, ok := c.Get("a", "b"); ok {
+		t.Fatal("disabled cache returned a unit")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if c.Enabled() {
+		t.Error("Enabled() = true")
+	}
+}
+
+func TestQueryCacheByteAccountingOnReplace(t *testing.T) {
+	c := NewQueryCache(true)
+	c.Put(unit("a", "b", 10))
+	before := c.Stats().Bytes
+	c.Put(unit("a", "b", 10)) // same size replacement
+	if c.Stats().Bytes != before {
+		t.Errorf("bytes drifted on replace: %d → %d", before, c.Stats().Bytes)
+	}
+	c.Put(unit("a2", "b", 10))
+	if c.Stats().Bytes <= before {
+		t.Error("bytes did not grow with a new entry")
+	}
+}
+
+func TestUnitApproxBytesGrowsWithGroups(t *testing.T) {
+	small := unit("a", "b", 2).ApproxBytes()
+	big := unit("a", "b", 200).ApproxBytes()
+	if big <= small {
+		t.Errorf("ApproxBytes: %d vs %d", small, big)
+	}
+}
+
+func TestPatternCache(t *testing.T) {
+	c := NewPatternCache[int](true)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty hit")
+	}
+	c.Put("k", 42)
+	v, ok := c.Get("k")
+	if !ok || v != 42 {
+		t.Fatal("value lost")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDisabledPatternCache(t *testing.T) {
+	c := NewPatternCache[string](false)
+	c.Put("k", "v")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+func TestQueryCacheConcurrency(t *testing.T) {
+	c := NewQueryCache(true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("s%d", i%17)
+				c.Put(unit(key, "b", 4))
+				c.Get(key, "b")
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 17 {
+		t.Errorf("entries = %d", st.Entries)
+	}
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("lookups = %d", st.Hits+st.Misses)
+	}
+}

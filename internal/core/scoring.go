@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+)
+
+// ScoreParams holds the scoring hyper-parameters of Section 4.1.
+type ScoreParams struct {
+	// Tau is the commonness acceptance threshold τ (a Sim class is a
+	// commonness iff its ratio strictly exceeds τ).
+	Tau float64
+	// K is the number of exception categories k (3 in the paper).
+	K int
+	// R is the balancing parameter r between commonness and exception
+	// complexity in Equation 13.
+	R float64
+	// Gamma is the actionability regularization γ of Equation 16, penalizing
+	// MetaInsights without exceptions; it must satisfy S + γ ≤ S* for all
+	// MetaInsights, for which 0 < γ < 1 + 0.5·log₂(k) suffices at τ = 0.5.
+	Gamma float64
+}
+
+// DefaultScoreParams returns the paper's implementation parameters:
+// τ = 0.5, k = 3, r = 1, γ = 0.1 (Section 4.1, "Parameters in our
+// implementation").
+func DefaultScoreParams() ScoreParams {
+	return ScoreParams{Tau: 0.5, K: 3, R: 1, Gamma: 0.1}
+}
+
+// EntropyS computes S of Equation 13 in bits:
+//
+//	S = −( Σ αᵢ·log₂ αᵢ + r·Σ βⱼ·log₂ βⱼ )
+func EntropyS(alphas, betas []float64, r float64) float64 {
+	s := 0.0
+	for _, a := range alphas {
+		if a > 0 {
+			s -= a * math.Log2(a)
+		}
+	}
+	for _, b := range betas {
+		if b > 0 {
+			s -= r * b * math.Log2(b)
+		}
+	}
+	return s
+}
+
+// SMax computes S*(τ), the tight upper bound of S over all MetaInsight
+// representations (Lemma 4.1):
+//
+//	S*(τ) = −log₂ τ + r·k·τ^{1/r}·log₂(e)/e            if k < (1−τ)·e/τ^{1/r}
+//	S*(τ) = −τ·log₂ τ − r·(1−τ)·log₂((1−τ)/k)          otherwise
+//
+// S*(τ) is continuous and monotonically decreasing in τ (Corollary 4.1.1).
+func SMax(tau, r float64, k int) float64 {
+	if tau <= 0 || tau >= 1 {
+		panic("core: SMax requires 0 < tau < 1")
+	}
+	if r <= 0 || k < 1 {
+		panic("core: SMax requires r > 0 and k >= 1")
+	}
+	kf := float64(k)
+	threshold := (1 - tau) * math.E / math.Pow(tau, 1/r)
+	if kf < threshold {
+		return -math.Log2(tau) + r*kf*math.Pow(tau, 1/r)*math.Log2(math.E)/math.E
+	}
+	return -tau*math.Log2(tau) - r*(1-tau)*math.Log2((1-tau)/kf)
+}
+
+// ConcisenessReg computes the regularized conciseness of Equation 16:
+//
+//	Conciseness = 1 − (S + γ·1[no exceptions]) / S*
+//
+// The result is clamped into [0, 1] against floating-point drift.
+func ConcisenessReg(entropy float64, noExceptions bool, p ScoreParams) float64 {
+	smax := SMax(p.Tau, p.R, p.K)
+	s := entropy
+	if noExceptions {
+		s += p.Gamma
+	}
+	c := 1 - s/smax
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// Score computes Equation 18 with the paper's f(x) = x and g(x) = x, except
+// that g clamps at 1: a measure-extended HDS repeats one subspace |M| times,
+// so the raw impact sum of Equation 17 may exceed 1, and g must stay within
+// [0, 1].
+func Score(conciseness, impactHDS float64) float64 {
+	g := impactHDS
+	if g > 1 {
+		g = 1
+	}
+	if g < 0 {
+		g = 0
+	}
+	return conciseness * g
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"metainsight/internal/model"
+)
+
+// LoadOptions controls CSV ingestion and type inference.
+type LoadOptions struct {
+	// Name is the display name of the resulting table; defaults to the file
+	// base name for LoadCSVFile and "csv" for LoadCSV.
+	Name string
+	// KindOverrides forces specific columns to a kind, bypassing inference.
+	KindOverrides map[string]model.FieldKind
+	// MaxDimensionCardinality demotes high-cardinality string columns
+	// (e.g. free-text IDs) from the dimension set: columns whose distinct
+	// count exceeds this limit are dropped from analysis. 0 means no limit.
+	MaxDimensionCardinality int
+}
+
+// LoadCSVFile reads a CSV file with a header row and builds a Table,
+// inferring each column's kind (categorical / temporal / measure).
+func LoadCSVFile(path string, opts LoadOptions) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		opts.Name = strings.TrimSuffix(base, ".csv")
+	}
+	return LoadCSV(f, opts)
+}
+
+// LoadCSV reads CSV data with a header row and builds a Table. Column kinds
+// are inferred: a column whose every non-empty cell parses as a number is a
+// measure; a column whose values look temporal (months, quarters, years,
+// dates — see LooksTemporal) is a temporal dimension; everything else is a
+// categorical dimension. Overrides in opts take precedence.
+func LoadCSV(r io.Reader, opts LoadOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		records = append(records, rec)
+	}
+	if opts.Name == "" {
+		opts.Name = "csv"
+	}
+	return FromRecords(opts.Name, header, records, opts)
+}
+
+// FromRecords builds a Table from an in-memory header + string records,
+// applying the same inference rules as LoadCSV.
+func FromRecords(name string, header []string, records [][]string, opts LoadOptions) (*Table, error) {
+	ncols := len(header)
+	seen := make(map[string]bool, ncols)
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return nil, fmt.Errorf("dataset: empty name for column %d", i+1)
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("dataset: duplicate column name %q", h)
+		}
+		seen[h] = true
+		header[i] = h
+	}
+	for i, rec := range records {
+		if len(rec) != ncols {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, header has %d", i+1, len(rec), ncols)
+		}
+	}
+	kinds := make([]model.FieldKind, ncols)
+	keep := make([]bool, ncols)
+	for c := 0; c < ncols; c++ {
+		keep[c] = true
+		if k, ok := opts.KindOverrides[header[c]]; ok {
+			kinds[c] = k
+			continue
+		}
+		col := columnValues(records, c)
+		switch {
+		case allNumeric(col):
+			kinds[c] = model.KindMeasure
+		case LooksTemporal(col):
+			kinds[c] = model.KindTemporal
+		default:
+			kinds[c] = model.KindCategorical
+			if opts.MaxDimensionCardinality > 0 &&
+				distinctCount(col) > opts.MaxDimensionCardinality {
+				keep[c] = false
+			}
+		}
+	}
+	var fields []model.Field
+	for c := 0; c < ncols; c++ {
+		if keep[c] {
+			fields = append(fields, model.Field{Name: header[c], Kind: kinds[c]})
+		}
+	}
+	b := NewBuilder(name, fields)
+	dimVals := make([]string, 0, ncols)
+	meaVals := make([]float64, 0, ncols)
+	for ri, rec := range records {
+		dimVals = dimVals[:0]
+		meaVals = meaVals[:0]
+		for c := 0; c < ncols; c++ {
+			if !keep[c] {
+				continue
+			}
+			if kinds[c] == model.KindMeasure {
+				v, err := parseNumber(rec[c])
+				if err != nil {
+					return nil, fmt.Errorf("dataset: row %d column %q: %w", ri+1, header[c], err)
+				}
+				meaVals = append(meaVals, v)
+			} else {
+				dimVals = append(dimVals, strings.TrimSpace(rec[c]))
+			}
+		}
+		b.AddRow(dimVals, meaVals)
+	}
+	return b.Build(), nil
+}
+
+func columnValues(records [][]string, c int) []string {
+	out := make([]string, len(records))
+	for i, rec := range records {
+		out[i] = rec[c]
+	}
+	return out
+}
+
+func distinctCount(values []string) int {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[strings.TrimSpace(v)] = true
+	}
+	return len(set)
+}
+
+func allNumeric(values []string) bool {
+	any := false
+	for _, v := range values {
+		s := strings.TrimSpace(v)
+		if s == "" {
+			continue
+		}
+		if _, err := parseNumber(s); err != nil {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+func parseNumber(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	s = strings.ReplaceAll(s, ",", "")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number: %q", s)
+	}
+	return v, nil
+}

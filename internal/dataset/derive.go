@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"metainsight/internal/model"
+)
+
+// dateLayouts are the date formats DeriveTemporal understands.
+var dateLayouts = []string{"2006-01-02", "2006/01/02", "2006-01", "2006/01"}
+
+// DeriveTemporal returns a new table with temporal hierarchy columns derived
+// from a date-valued column: "<col> Year", "<col> Quarter", "<col> Month"
+// and, when the dates carry a day component, "<col> Week" (ISO week) and
+// "<col> Weekday". This is the
+// substrate behind the paper's breakdown-extension example (Section 3.2):
+// Exd_b varies the breakdown over all temporal dimensions — "sales in Los
+// Angeles over Day, Week and Month" — which requires those granularities to
+// exist as columns. The source column is kept (its cardinality cap will
+// typically exclude it from breakdowns); all other columns are copied
+// unchanged.
+func DeriveTemporal(t *Table, dateCol string) (*Table, error) {
+	src := t.Dimension(dateCol)
+	if src == nil {
+		return nil, fmt.Errorf("dataset: unknown column %q", dateCol)
+	}
+	// Parse each dictionary value once.
+	parsed := make([]time.Time, src.Cardinality())
+	withDay := false
+	for code, v := range src.Domain() {
+		tv, hasDay, err := parseDate(v)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: column %q: %w", dateCol, err)
+		}
+		parsed[code] = tv
+		withDay = withDay || hasDay
+	}
+
+	derived := []string{dateCol + " Year", dateCol + " Quarter", dateCol + " Month"}
+	if withDay {
+		derived = append(derived, dateCol+" Week", dateCol+" Weekday")
+	}
+	for _, name := range derived {
+		if t.Dimension(name) != nil || t.MeasureColumn(name) != nil {
+			return nil, fmt.Errorf("dataset: derived column %q already exists", name)
+		}
+	}
+
+	fields := append(append([]model.Field(nil), t.Fields()...), make([]model.Field, 0, len(derived))...)
+	for _, name := range derived {
+		fields = append(fields, model.Field{Name: name, Kind: model.KindTemporal})
+	}
+	b := NewBuilder(t.Name(), fields)
+
+	dims := t.Dimensions()
+	meas := t.MeasureColumns()
+	dimVals := make([]string, 0, len(dims)+len(derived))
+	meaVals := make([]float64, len(meas))
+	for r := 0; r < t.Rows(); r++ {
+		dimVals = dimVals[:0]
+		for _, d := range dims {
+			dimVals = append(dimVals, d.Value(int(d.CodeAt(r))))
+		}
+		tv := parsed[src.CodeAt(r)]
+		dimVals = append(dimVals,
+			fmt.Sprintf("%d", tv.Year()),
+			fmt.Sprintf("Q%d", (int(tv.Month())-1)/3+1),
+			tv.Month().String()[:3],
+		)
+		if withDay {
+			_, week := tv.ISOWeek()
+			dimVals = append(dimVals,
+				fmt.Sprintf("W%02d", week),
+				tv.Weekday().String()[:3])
+		}
+		for i, m := range meas {
+			meaVals[i] = m.At(r)
+		}
+		b.AddRow(dimVals, meaVals)
+	}
+	return b.Build(), nil
+}
+
+// parseDate parses one date value, reporting whether it had a day component.
+func parseDate(v string) (time.Time, bool, error) {
+	s := strings.TrimSpace(v)
+	for _, layout := range dateLayouts {
+		if tv, err := time.Parse(layout, s); err == nil {
+			// Day-precision layouts are the 10-character ones (YYYY-MM-DD).
+			return tv, len(layout) == 10, nil
+		}
+	}
+	return time.Time{}, false, fmt.Errorf("unparseable date %q", v)
+}

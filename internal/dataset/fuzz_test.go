@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV ensures the loader never panics on arbitrary input and that
+// any table it does build is internally consistent (codes decode, measures
+// align). Run with `go test -fuzz=FuzzLoadCSV ./internal/dataset` to explore
+// beyond the seed corpus.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("City,Month,Sales\nLA,Jan,100\nSF,Feb,200\n")
+	f.Add("A,B\n,\n,\n")
+	f.Add("X\n1\n2\n3\n")
+	f.Add("a,b,c\n\"q,uo\",2020-01-01,-5\n")
+	f.Add("К,Ц\nμ,λ\n")
+	f.Add("dup,dup\n1,2\n")
+	f.Add("n\n1e308\n-1e308\nNaN\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tab, err := LoadCSV(strings.NewReader(data), LoadOptions{Name: "fuzz"})
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		for _, col := range tab.Dimensions() {
+			for r := 0; r < tab.Rows(); r++ {
+				code := int(col.CodeAt(r))
+				if code < 0 || code >= col.Cardinality() {
+					t.Fatalf("row %d of %q decodes out of range", r, col.Name)
+				}
+				if col.Code(col.Value(code)) != code {
+					t.Fatalf("dictionary roundtrip broken for %q", col.Name)
+				}
+			}
+		}
+		for _, mc := range tab.MeasureColumns() {
+			for r := 0; r < tab.Rows(); r++ {
+				mc.At(r) // must not panic
+			}
+		}
+	})
+}
+
+// FuzzTemporalLess checks the comparator provides a strict weak ordering on
+// arbitrary strings: irreflexive and asymmetric (required by sort.Slice).
+func FuzzTemporalLess(f *testing.F) {
+	f.Add("Jan", "Feb")
+	f.Add("Q1", "Week 2")
+	f.Add("2020-01-01", "2020")
+	f.Add("", "w")
+	f.Add("W-3", "Qx")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if TemporalLess(a, a) {
+			t.Fatalf("TemporalLess(%q, %q) not irreflexive", a, a)
+		}
+		if TemporalLess(a, b) && TemporalLess(b, a) {
+			t.Fatalf("TemporalLess not asymmetric for %q, %q", a, b)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package dataset
+
+// Posting lists: for each (dimension, value) pair, the sorted row ids holding
+// that value. Filtered group-by scans iterate the most selective filter's
+// posting list instead of the whole table, the classic inverted-index
+// optimization of columnar engines. Lists are built lazily per dimension and
+// cached on the column; Table is immutable after Build, so the build is
+// idempotent and race-free under sync.Once.
+
+import "sync"
+
+// postings holds the per-value row lists of one dimension column.
+type postings struct {
+	once sync.Once
+	rows [][]int32 // code -> sorted row ids
+}
+
+// Postings returns the row ids holding the given dictionary code, in
+// ascending order. The first call per column materializes the lists in one
+// O(rows) pass.
+func (c *DimColumn) Postings(code int) []int32 {
+	c.index2().once.Do(c.buildPostings)
+	if code < 0 || code >= len(c.post.rows) {
+		return nil
+	}
+	return c.post.rows[code]
+}
+
+// index2 lazily allocates the postings holder (kept separate so DimColumn's
+// zero value stays cheap for columns never used as filters).
+func (c *DimColumn) index2() *postings {
+	c.postOnce.Do(func() { c.post = &postings{} })
+	return c.post
+}
+
+func (c *DimColumn) buildPostings() {
+	counts := make([]int32, len(c.dict))
+	for _, code := range c.codes {
+		counts[code]++
+	}
+	rows := make([][]int32, len(c.dict))
+	for v := range rows {
+		rows[v] = make([]int32, 0, counts[v])
+	}
+	for r, code := range c.codes {
+		rows[code] = append(rows[code], int32(r))
+	}
+	c.post.rows = rows
+}

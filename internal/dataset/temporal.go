@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"strconv"
+	"strings"
+)
+
+// monthOrder maps month names (full and three-letter forms, case-insensitive)
+// to their position in the year.
+var monthOrder = map[string]int{
+	"jan": 1, "january": 1,
+	"feb": 2, "february": 2,
+	"mar": 3, "march": 3,
+	"apr": 4, "april": 4,
+	"may": 5,
+	"jun": 6, "june": 6,
+	"jul": 7, "july": 7,
+	"aug": 8, "august": 8,
+	"sep": 9, "sept": 9, "september": 9,
+	"oct": 10, "october": 10,
+	"nov": 11, "november": 11,
+	"dec": 12, "december": 12,
+}
+
+// weekdayOrder maps weekday names to their position in the week (Mon=1).
+var weekdayOrder = map[string]int{
+	"mon": 1, "monday": 1,
+	"tue": 2, "tues": 2, "tuesday": 2,
+	"wed": 3, "wednesday": 3,
+	"thu": 4, "thur": 4, "thurs": 4, "thursday": 4,
+	"fri": 5, "friday": 5,
+	"sat": 6, "saturday": 6,
+	"sun": 7, "sunday": 7,
+}
+
+// temporalRank assigns an orderable rank to a temporal dimension value.
+// It understands month names, weekday names, quarters ("Q1".."Q4"),
+// week labels ("W01", "Week 3"), plain integers (years, day-of-month,
+// hours) and ISO-style dates (which already sort lexically). Unrecognized
+// values fall back to lexical comparison via rank 0 + the string itself.
+func temporalRank(v string) (int, bool) {
+	s := strings.ToLower(strings.TrimSpace(v))
+	if r, ok := monthOrder[s]; ok {
+		return r, true
+	}
+	if r, ok := weekdayOrder[s]; ok {
+		return r, true
+	}
+	if len(s) >= 2 && s[0] == 'q' {
+		if n, err := strconv.Atoi(s[1:]); err == nil {
+			return n, true
+		}
+	}
+	if len(s) >= 2 && s[0] == 'w' {
+		if n, err := strconv.Atoi(strings.TrimSpace(s[1:])); err == nil {
+			return n, true
+		}
+	}
+	if rest, ok := strings.CutPrefix(s, "week "); ok {
+		if n, err := strconv.Atoi(rest); err == nil {
+			return n, true
+		}
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		return n, true
+	}
+	return 0, false
+}
+
+// TemporalLess orders two temporal dimension values chronologically. Month
+// and weekday names, quarters, week labels and integer values are compared by
+// their temporal rank; everything else (e.g. ISO dates) falls back to the
+// lexical order, which is chronological for ISO-8601 strings.
+func TemporalLess(a, b string) bool {
+	ra, oka := temporalRank(a)
+	rb, okb := temporalRank(b)
+	switch {
+	case oka && okb:
+		if ra != rb {
+			return ra < rb
+		}
+		return a < b
+	case oka:
+		return true
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// LooksTemporal reports whether a set of raw values looks like a temporal
+// domain: every non-empty value must parse as a month, weekday, quarter,
+// week label, 4-digit year, or ISO date, and at least one value must be
+// non-numeric-ambiguous (to avoid classifying arbitrary ID columns as
+// temporal). It is used by the CSV loader's type inference.
+func LooksTemporal(values []string) bool {
+	if len(values) == 0 {
+		return false
+	}
+	named := 0
+	for _, v := range values {
+		s := strings.ToLower(strings.TrimSpace(v))
+		if s == "" {
+			continue
+		}
+		switch {
+		case monthOrder[s] != 0 || weekdayOrder[s] != 0:
+			named++
+		case len(s) >= 2 && (s[0] == 'q' || s[0] == 'w'):
+			if _, err := strconv.Atoi(s[1:]); err != nil {
+				return false
+			}
+			named++
+		case isISODate(s):
+			named++
+		case isYear(s):
+			// plausible but ambiguous on its own
+		default:
+			return false
+		}
+	}
+	return named > 0 || allYears(values)
+}
+
+func isYear(s string) bool {
+	if len(s) != 4 {
+		return false
+	}
+	n, err := strconv.Atoi(s)
+	return err == nil && n >= 1500 && n <= 2500
+}
+
+func allYears(values []string) bool {
+	any := false
+	for _, v := range values {
+		s := strings.TrimSpace(v)
+		if s == "" {
+			continue
+		}
+		if !isYear(s) {
+			return false
+		}
+		any = true
+	}
+	return any
+}
+
+func isISODate(s string) bool {
+	// YYYY-MM-DD or YYYY/MM/DD, optionally truncated to YYYY-MM.
+	if len(s) != 7 && len(s) != 10 {
+		return false
+	}
+	sep := byte('-')
+	if strings.ContainsRune(s, '/') {
+		sep = '/'
+	}
+	parts := strings.Split(s, string(sep))
+	if len(parts) != 2 && len(parts) != 3 {
+		return false
+	}
+	if !isYear(parts[0]) {
+		return false
+	}
+	for _, p := range parts[1:] {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 || n > 31 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"time"
+)
+
+// Budget bounds a progressive mining run (Section 4.2): when the budget is
+// exhausted the miner returns its best-so-far results. Budgets live next to
+// the Meter because the deterministic denomination is metered engine cost.
+type Budget interface {
+	// Exceeded reports whether the budget has been used up.
+	Exceeded() bool
+}
+
+// CostBudget bounds work by metered engine cost units. Because the cost
+// model is deterministic, two runs with the same configuration and a cost
+// budget produce identical results — the denomination used by the
+// reproduction benches (see DESIGN.md, substitution 1).
+type CostBudget struct {
+	Meter *Meter
+	Limit float64
+}
+
+// Exceeded reports whether the metered cost has reached the limit.
+func (b CostBudget) Exceeded() bool { return b.Meter.Cost() >= b.Limit }
+
+// TimeBudget bounds work by wall-clock time, matching the paper's deployment
+// (interactive EDA within a pre-specified time budget).
+type TimeBudget struct {
+	Deadline time.Time
+}
+
+// NewTimeBudget returns a TimeBudget expiring after d.
+func NewTimeBudget(d time.Duration) TimeBudget {
+	return TimeBudget{Deadline: time.Now().Add(d)}
+}
+
+// Exceeded reports whether the deadline has passed.
+func (b TimeBudget) Exceeded() bool { return time.Now().After(b.Deadline) }
+
+// Unlimited is a budget that never expires; mining runs to completion of the
+// search space (used for golden-set construction and small datasets).
+type Unlimited struct{}
+
+// Exceeded always reports false.
+func (Unlimited) Exceeded() bool { return false }

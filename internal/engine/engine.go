@@ -1,0 +1,586 @@
+// Package engine is the query substrate MetaInsight mines over. The paper's
+// implementation issued SQL-style queries against Microsoft Excel's query
+// interface (Table 2); this package implements the equivalent engine over the
+// in-memory columnar tables of internal/dataset: BasicQuery and
+// AugmentedQuery with group-by aggregation across all measures, integrated
+// with the query cache of internal/cache.
+//
+// Because an in-process scan is orders of magnitude cheaper than the paper's
+// inter-process query round trips, the engine also meters a deterministic
+// cost per executed query (a fixed per-query overhead plus a per-row scan
+// cost). Mining budgets can be denominated in these cost units, making the
+// cache/queue ablations of Figure 6 both visible and exactly reproducible.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// CostModel assigns deterministic cost units to engine work. Units are
+// arbitrary but are calibrated so that one unit ≈ one millisecond of the
+// paper's Excel-backed substrate.
+type CostModel struct {
+	// PerQuery is the fixed overhead charged for every executed (non-cached)
+	// query, standing in for the query-interface round trip.
+	PerQuery float64
+	// PerRow is charged for every record scanned by an executed query.
+	PerRow float64
+	// PerEvaluation is charged for each data-pattern evaluation performed
+	// (pattern-cache hits are free).
+	PerEvaluation float64
+}
+
+// DefaultCostModel approximates the paper's environment: a ~5ms query
+// round trip, ~2000 rows scanned per ms, and a ~0.2ms pattern evaluation.
+func DefaultCostModel() CostModel {
+	return CostModel{PerQuery: 5, PerRow: 0.0005, PerEvaluation: 0.2}
+}
+
+// Meter accumulates cost units and query counts. It is safe for concurrent
+// use; costs are stored in nano-units to allow atomic addition.
+type Meter struct {
+	costNanos atomic.Int64
+	executed  atomic.Int64 // queries that actually scanned the table
+	served    atomic.Int64 // logical queries answered from the cache
+	augmented atomic.Int64 // executed queries that were augmented scans
+}
+
+// AddCost adds cost units to the meter.
+func (m *Meter) AddCost(units float64) {
+	m.costNanos.Add(int64(units * 1e9))
+}
+
+// Cost returns the accumulated cost in units.
+func (m *Meter) Cost() float64 { return float64(m.costNanos.Load()) / 1e9 }
+
+// ExecutedQueries returns the number of queries that scanned the table.
+func (m *Meter) ExecutedQueries() int64 { return m.executed.Load() }
+
+// ServedQueries returns the number of logical queries answered from cache.
+func (m *Meter) ServedQueries() int64 { return m.served.Load() }
+
+// AugmentedQueries returns how many executed queries were augmented scans.
+func (m *Meter) AugmentedQueries() int64 { return m.augmented.Load() }
+
+// Series is the result of a basic query: the raw data distribution of a data
+// scope (aggregate values of the measure over the breakdown's sibling group).
+// Groups with no records are omitted; Keys is in domain order.
+type Series struct {
+	Scope  model.DataScope
+	Keys   []string
+	Values []float64
+}
+
+// Len returns the number of groups in the series.
+func (s *Series) Len() int { return len(s.Keys) }
+
+// Engine executes queries for one table against one measure set.
+type Engine struct {
+	tab      *dataset.Table
+	measures []model.Measure
+	impact   model.Measure
+	qc       *cache.QueryCache
+	cost     CostModel
+	meter    *Meter
+	totalImp float64
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Measures is the measure set M. If empty, Table.DefaultMeasures is used.
+	Measures []model.Measure
+	// ImpactMeasure must be additive (SUM or COUNT); defaults to COUNT(*),
+	// the impact measure used throughout the paper's evaluation.
+	ImpactMeasure model.Measure
+	// QueryCache to use; nil creates an enabled cache.
+	QueryCache *cache.QueryCache
+	// Cost is the metered cost model; zero value uses DefaultCostModel.
+	Cost CostModel
+	// Meter receives cost and query accounting; nil creates a fresh meter.
+	Meter *Meter
+}
+
+// New creates an engine over tab.
+func New(tab *dataset.Table, cfg Config) (*Engine, error) {
+	if cfg.Measures == nil {
+		cfg.Measures = tab.DefaultMeasures()
+	}
+	if cfg.ImpactMeasure == (model.Measure{}) {
+		cfg.ImpactMeasure = model.Count("*")
+	}
+	if !cfg.ImpactMeasure.Agg.Additive() {
+		return nil, fmt.Errorf("engine: impact measure %s is not additive", cfg.ImpactMeasure)
+	}
+	if cfg.QueryCache == nil {
+		cfg.QueryCache = cache.NewQueryCache(true)
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	if cfg.Meter == nil {
+		cfg.Meter = &Meter{}
+	}
+	e := &Engine{
+		tab:      tab,
+		measures: cfg.Measures,
+		impact:   cfg.ImpactMeasure,
+		qc:       cfg.QueryCache,
+		cost:     cfg.Cost,
+		meter:    cfg.Meter,
+	}
+	for _, m := range cfg.Measures {
+		if err := e.checkMeasure(m); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.checkMeasure(cfg.ImpactMeasure); err != nil {
+		return nil, err
+	}
+	e.totalImp = e.totalImpactValue()
+	if e.totalImp <= 0 {
+		return nil, fmt.Errorf("engine: impact measure %s totals %v over the dataset", cfg.ImpactMeasure, e.totalImp)
+	}
+	return e, nil
+}
+
+func (e *Engine) checkMeasure(m model.Measure) error {
+	if m.Agg == model.AggCount {
+		return nil
+	}
+	if e.tab.MeasureColumn(m.Column) == nil {
+		return fmt.Errorf("engine: measure %s references unknown column", m)
+	}
+	return nil
+}
+
+// Table returns the table the engine queries.
+func (e *Engine) Table() *dataset.Table { return e.tab }
+
+// Measures returns the measure set M.
+func (e *Engine) Measures() []model.Measure { return e.measures }
+
+// ImpactMeasure returns the configured impact measure.
+func (e *Engine) ImpactMeasure() model.Measure { return e.impact }
+
+// Meter returns the engine's cost meter.
+func (e *Engine) Meter() *Meter { return e.meter }
+
+// QueryCache returns the engine's query cache.
+func (e *Engine) QueryCache() *cache.QueryCache { return e.qc }
+
+// totalImpactValue computes m_Impact({*}) directly (not metered: it is a
+// one-time setup computation, equivalent to dataset metadata).
+func (e *Engine) totalImpactValue() float64 {
+	if e.impact.Agg == model.AggCount {
+		return float64(e.tab.Rows())
+	}
+	col := e.tab.MeasureColumn(e.impact.Column)
+	total := 0.0
+	for i := 0; i < e.tab.Rows(); i++ {
+		total += col.At(i)
+	}
+	return total
+}
+
+// TotalImpact returns m_Impact({*}), the denominator of Equation 2.
+func (e *Engine) TotalImpact() float64 { return e.totalImp }
+
+// BasicQuery answers the paper's BasicQuery(ds): the aggregate of
+// ds.Measure grouped by ds.Breakdown under ds.Subspace (Table 2, row 1).
+// The result is served from the query cache when possible; a miss scans the
+// table once, producing (and caching) the full all-measures unit.
+func (e *Engine) BasicQuery(ds model.DataScope) (*Series, error) {
+	if err := e.tab.Validate(ds); err != nil {
+		return nil, err
+	}
+	unit, ok := e.qc.Get(ds.Subspace.Key(), ds.Breakdown)
+	if ok {
+		e.meter.served.Add(1)
+		return extract(unit, ds)
+	}
+	unit = e.scanUnit(ds.Subspace, ds.Breakdown)
+	e.qc.Put(unit)
+	return extract(unit, ds)
+}
+
+// Unit returns the full query-cache unit for (subspace, breakdown),
+// executing a scan on a cache miss. Callers that need several measures of
+// the same scope use this to avoid repeated extraction lookups.
+func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, error) {
+	if e.tab.Dimension(breakdown) == nil {
+		return nil, fmt.Errorf("engine: unknown breakdown dimension %q", breakdown)
+	}
+	unit, ok := e.qc.Get(subspace.Key(), breakdown)
+	if ok {
+		e.meter.served.Add(1)
+		return unit, nil
+	}
+	unit = e.scanUnit(subspace, breakdown)
+	e.qc.Put(unit)
+	return unit, nil
+}
+
+// AugmentedQuery answers the paper's AugmentedQuery(ds, d) (Table 2, row 2):
+// one scan filtered by ds.Subspace \ d, grouped by (ds.Breakdown, d), across
+// all measures. It returns the cache units for every sibling subspace in
+// SG(ds.Subspace, d) that has at least one record, keyed by the sibling's
+// value on d; each unit is also stored in the query cache, pre-fetching the
+// measure-extending and subspace-extending HDSs generated from ds.
+func (e *Engine) AugmentedQuery(ds model.DataScope, d string) (map[string]*cache.Unit, error) {
+	if err := e.tab.Validate(ds); err != nil {
+		return nil, err
+	}
+	dcol := e.tab.Dimension(d)
+	if dcol == nil {
+		return nil, fmt.Errorf("engine: unknown augmentation dimension %q", d)
+	}
+	if d == ds.Breakdown {
+		return nil, fmt.Errorf("engine: augmentation dimension %q equals the breakdown", d)
+	}
+	base := ds.Subspace.Without(d)
+	units := e.scanAugmented(base, ds.Breakdown, d)
+	for _, u := range units {
+		e.qc.Put(u)
+	}
+	return units, nil
+}
+
+// Impact returns Impact_ds for a subspace (Equation 2): the impact measure's
+// value on the subspace divided by its value on the whole dataset. The
+// numerator is served by any unit of the subspace if cached; otherwise a
+// count-style scan is metered.
+func (e *Engine) Impact(s model.Subspace) (float64, error) {
+	if len(s) == 0 {
+		return 1, nil
+	}
+	// Any breakdown unit of this subspace can serve the impact value; prefer
+	// a cached one before paying for a scan.
+	for _, dim := range e.tab.DimensionNames() {
+		if s.Has(dim) {
+			continue
+		}
+		if u, ok := e.qc.Peek(s.Key(), dim); ok {
+			return e.unitImpact(u) / e.totalImp, nil
+		}
+	}
+	// Fall back to a scan grouped by an arbitrary unfiltered dimension. If
+	// every dimension is filtered, grouping by a filtered one is still
+	// correct: the scan keeps the filter, so the unit holds exactly the one
+	// matching group.
+	breakdown := e.tab.DimensionNames()[0]
+	for _, dim := range e.tab.DimensionNames() {
+		if !s.Has(dim) {
+			breakdown = dim
+			break
+		}
+	}
+	u, err := e.Unit(s, breakdown)
+	if err != nil {
+		return 0, err
+	}
+	return e.unitImpact(u) / e.totalImp, nil
+}
+
+// unitImpact sums the impact measure over a unit's groups; valid because the
+// impact measure is additive.
+func (e *Engine) unitImpact(u *cache.Unit) float64 {
+	if e.impact.Agg == model.AggCount {
+		return statsSum(u.Counts)
+	}
+	return statsSum(u.Sums[e.impact.Column])
+}
+
+func statsSum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Extract materializes one measure's series from an already-fetched unit
+// without touching the cache counters; callers that evaluate several
+// measures of the same (subspace, breakdown) family use it after one Unit
+// call.
+func Extract(u *cache.Unit, ds model.DataScope) (*Series, error) {
+	return extract(u, ds)
+}
+
+// extract materializes one measure's series from a unit. Groups with no
+// records are already absent from the unit.
+func extract(u *cache.Unit, ds model.DataScope) (*Series, error) {
+	n := len(u.GroupKeys)
+	vals := make([]float64, n)
+	switch ds.Measure.Agg {
+	case model.AggCount:
+		copy(vals, u.Counts)
+	case model.AggSum:
+		src, ok := u.Sums[ds.Measure.Column]
+		if !ok {
+			return nil, fmt.Errorf("engine: unit lacks column %q", ds.Measure.Column)
+		}
+		copy(vals, src)
+	case model.AggAvg:
+		src, ok := u.Sums[ds.Measure.Column]
+		if !ok {
+			return nil, fmt.Errorf("engine: unit lacks column %q", ds.Measure.Column)
+		}
+		for i := range vals {
+			vals[i] = src[i] / u.Counts[i]
+		}
+	case model.AggMin:
+		src, ok := u.Mins[ds.Measure.Column]
+		if !ok {
+			return nil, fmt.Errorf("engine: unit lacks column %q", ds.Measure.Column)
+		}
+		copy(vals, src)
+	case model.AggMax:
+		src, ok := u.Maxs[ds.Measure.Column]
+		if !ok {
+			return nil, fmt.Errorf("engine: unit lacks column %q", ds.Measure.Column)
+		}
+		copy(vals, src)
+	default:
+		return nil, fmt.Errorf("engine: unsupported aggregate %v", ds.Measure.Agg)
+	}
+	return &Series{Scope: ds, Keys: u.GroupKeys, Values: vals}, nil
+}
+
+// filterSpec is a resolved subspace filter.
+type filterSpec struct {
+	col  *dataset.DimColumn
+	code int32
+}
+
+func (e *Engine) resolveFilters(s model.Subspace) []filterSpec {
+	specs := make([]filterSpec, 0, len(s))
+	for _, f := range s {
+		col := e.tab.Dimension(f.Dim)
+		specs = append(specs, filterSpec{col: col, code: int32(col.Code(f.Value))})
+	}
+	return specs
+}
+
+// scanPlan chooses the row set to iterate: the most selective filter's
+// posting list when the subspace is non-empty (the remaining filters are
+// verified per row), or the full table otherwise. It returns the driving
+// rows (nil = all rows) and the filters still to check.
+func (e *Engine) scanPlan(filters []filterSpec) (drive []int32, rest []filterSpec) {
+	if len(filters) == 0 {
+		return nil, nil
+	}
+	best := -1
+	bestLen := e.tab.Rows() + 1
+	for i, f := range filters {
+		if l := len(f.col.Postings(int(f.code))); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	drive = filters[best].col.Postings(int(filters[best].code))
+	rest = make([]filterSpec, 0, len(filters)-1)
+	rest = append(rest, filters[:best]...)
+	rest = append(rest, filters[best+1:]...)
+	return drive, rest
+}
+
+// scanUnit executes one filtered group-by scan across all measure columns,
+// charging the metered cost and producing the cache unit.
+func (e *Engine) scanUnit(s model.Subspace, breakdown string) *cache.Unit {
+	bcol := e.tab.Dimension(breakdown)
+	card := bcol.Cardinality()
+	filters := e.resolveFilters(s)
+	mcols := e.tab.MeasureColumns()
+
+	counts := make([]float64, card)
+	sums := make([][]float64, len(mcols))
+	mins := make([][]float64, len(mcols))
+	maxs := make([][]float64, len(mcols))
+	for i := range mcols {
+		sums[i] = make([]float64, card)
+		mins[i] = make([]float64, card)
+		maxs[i] = make([]float64, card)
+		for g := 0; g < card; g++ {
+			mins[i][g] = math.Inf(1)
+			maxs[i][g] = math.Inf(-1)
+		}
+	}
+
+	drive, rest := e.scanPlan(filters)
+	scanned := 0
+	accumulate := func(r int) {
+		for _, f := range rest {
+			if f.col.CodeAt(r) != f.code {
+				return
+			}
+		}
+		g := bcol.CodeAt(r)
+		counts[g]++
+		for i, mc := range mcols {
+			v := mc.At(r)
+			sums[i][g] += v
+			if v < mins[i][g] {
+				mins[i][g] = v
+			}
+			if v > maxs[i][g] {
+				maxs[i][g] = v
+			}
+		}
+	}
+	if drive == nil && len(filters) > 0 {
+		drive = []int32{} // non-empty subspace with an absent value: no rows
+	}
+	if len(filters) == 0 {
+		scanned = e.tab.Rows()
+		for r := 0; r < scanned; r++ {
+			accumulate(r)
+		}
+	} else {
+		scanned = len(drive)
+		for _, r := range drive {
+			accumulate(int(r))
+		}
+	}
+
+	e.meter.executed.Add(1)
+	e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
+
+	return buildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs)
+}
+
+// scanAugmented executes one scan grouped by (breakdown, d), producing one
+// unit per non-empty value of d.
+func (e *Engine) scanAugmented(base model.Subspace, breakdown, d string) map[string]*cache.Unit {
+	bcol := e.tab.Dimension(breakdown)
+	dcol := e.tab.Dimension(d)
+	bcard, dcard := bcol.Cardinality(), dcol.Cardinality()
+	filters := e.resolveFilters(base)
+	mcols := e.tab.MeasureColumns()
+
+	cells := bcard * dcard
+	counts := make([]float64, cells)
+	sums := make([][]float64, len(mcols))
+	mins := make([][]float64, len(mcols))
+	maxs := make([][]float64, len(mcols))
+	for i := range mcols {
+		sums[i] = make([]float64, cells)
+		mins[i] = make([]float64, cells)
+		maxs[i] = make([]float64, cells)
+		for g := 0; g < cells; g++ {
+			mins[i][g] = math.Inf(1)
+			maxs[i][g] = math.Inf(-1)
+		}
+	}
+
+	drive, rest := e.scanPlan(filters)
+	scanned := 0
+	accumulate := func(r int) {
+		for _, f := range rest {
+			if f.col.CodeAt(r) != f.code {
+				return
+			}
+		}
+		g := int(dcol.CodeAt(r))*bcard + int(bcol.CodeAt(r))
+		counts[g]++
+		for i, mc := range mcols {
+			v := mc.At(r)
+			sums[i][g] += v
+			if v < mins[i][g] {
+				mins[i][g] = v
+			}
+			if v > maxs[i][g] {
+				maxs[i][g] = v
+			}
+		}
+	}
+	if drive == nil && len(filters) > 0 {
+		drive = []int32{}
+	}
+	if len(filters) == 0 {
+		scanned = e.tab.Rows()
+		for r := 0; r < scanned; r++ {
+			accumulate(r)
+		}
+	} else {
+		scanned = len(drive)
+		for _, r := range drive {
+			accumulate(int(r))
+		}
+	}
+
+	e.meter.executed.Add(1)
+	e.meter.augmented.Add(1)
+	// One scan answers |dom(d)| sibling queries; charge a single round trip
+	// plus the scan, mirroring the paper's motivation for augmented queries.
+	e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
+
+	units := make(map[string]*cache.Unit, dcard)
+	bdomain := bcol.Domain()
+	for dv := 0; dv < dcard; dv++ {
+		lo, hi := dv*bcard, (dv+1)*bcard
+		sub := base.With(d, dcol.Value(dv))
+		colSums := make([][]float64, len(mcols))
+		colMins := make([][]float64, len(mcols))
+		colMaxs := make([][]float64, len(mcols))
+		for i := range mcols {
+			colSums[i] = sums[i][lo:hi]
+			colMins[i] = mins[i][lo:hi]
+			colMaxs[i] = maxs[i][lo:hi]
+		}
+		u := buildUnit(sub.Key(), breakdown, bdomain, counts[lo:hi], mcols, colSums, colMins, colMaxs)
+		if len(u.GroupKeys) > 0 {
+			units[dcol.Value(dv)] = u
+		}
+	}
+	return units
+}
+
+// buildUnit compresses full-domain accumulator arrays into a unit holding
+// only the non-empty groups.
+func buildUnit(subspaceKey, breakdown string, domain []string, counts []float64,
+	mcols []*dataset.MeasureColumn, sums, mins, maxs [][]float64) *cache.Unit {
+
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	u := &cache.Unit{
+		Key:       cache.UnitKey{Subspace: subspaceKey, Breakdown: breakdown},
+		GroupKeys: make([]string, 0, nonEmpty),
+		Counts:    make([]float64, 0, nonEmpty),
+		Sums:      make(map[string][]float64, len(mcols)),
+		Mins:      make(map[string][]float64, len(mcols)),
+		Maxs:      make(map[string][]float64, len(mcols)),
+	}
+	for i, mc := range mcols {
+		u.Sums[mc.Name] = make([]float64, 0, nonEmpty)
+		u.Mins[mc.Name] = make([]float64, 0, nonEmpty)
+		u.Maxs[mc.Name] = make([]float64, 0, nonEmpty)
+		_ = i
+	}
+	for g, c := range counts {
+		if c == 0 {
+			continue
+		}
+		u.GroupKeys = append(u.GroupKeys, domain[g])
+		u.Counts = append(u.Counts, c)
+		for i, mc := range mcols {
+			u.Sums[mc.Name] = append(u.Sums[mc.Name], sums[i][g])
+			u.Mins[mc.Name] = append(u.Mins[mc.Name], mins[i][g])
+			u.Maxs[mc.Name] = append(u.Maxs[mc.Name], maxs[i][g])
+		}
+	}
+	return u
+}
+
+// ChargeEvaluation charges the metered cost of one data-pattern evaluation.
+func (e *Engine) ChargeEvaluation() {
+	e.meter.AddCost(e.cost.PerEvaluation)
+}

@@ -1,0 +1,354 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// randomTable builds a deterministic random table for reference checks.
+func randomTable(seed int64, rows int) *dataset.Table {
+	r := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder("rand", []model.Field{
+		{Name: "City", Kind: model.KindCategorical},
+		{Name: "Style", Kind: model.KindCategorical},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "Sales", Kind: model.KindMeasure},
+		{Name: "Profit", Kind: model.KindMeasure},
+	})
+	cities := []string{"LA", "SF", "SD", "SJ"}
+	styles := []string{"1Story", "2Story", "Condo"}
+	months := []string{"Jan", "Feb", "Mar", "Apr"}
+	for i := 0; i < rows; i++ {
+		b.AddRow(
+			[]string{cities[r.Intn(len(cities))], styles[r.Intn(len(styles))], months[r.Intn(len(months))]},
+			[]float64{math.Floor(r.Float64() * 1000), math.Floor(r.Float64()*200) - 100},
+		)
+	}
+	return b.Build()
+}
+
+func newEngine(t *testing.T, tab *dataset.Table, qcEnabled bool) *Engine {
+	t.Helper()
+	e, err := New(tab, Config{QueryCache: cache.NewQueryCache(qcEnabled)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// naiveAggregate computes the reference result of a basic query by direct
+// row iteration.
+func naiveAggregate(tab *dataset.Table, ds model.DataScope) (map[string]float64, map[string]float64) {
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	bcol := tab.Dimension(ds.Breakdown)
+	var mcol *dataset.MeasureColumn
+	if ds.Measure.Agg != model.AggCount {
+		mcol = tab.MeasureColumn(ds.Measure.Column)
+	}
+	for r := 0; r < tab.Rows(); r++ {
+		match := true
+		for _, f := range ds.Subspace {
+			col := tab.Dimension(f.Dim)
+			if col.Value(int(col.CodeAt(r))) != f.Value {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		g := bcol.Value(int(bcol.CodeAt(r)))
+		counts[g]++
+		if mcol != nil {
+			sums[g] += mcol.At(r)
+		}
+	}
+	return sums, counts
+}
+
+func TestBasicQueryMatchesNaiveSum(t *testing.T) {
+	tab := randomTable(1, 500)
+	e := newEngine(t, tab, true)
+	ds := model.DataScope{
+		Subspace:  model.NewSubspace(model.Filter{Dim: "City", Value: "LA"}),
+		Breakdown: "Month",
+		Measure:   model.Sum("Sales"),
+	}
+	s, err := e.BasicQuery(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, _ := naiveAggregate(tab, ds)
+	if len(s.Keys) != len(sums) {
+		t.Fatalf("groups = %d, want %d", len(s.Keys), len(sums))
+	}
+	for i, k := range s.Keys {
+		if math.Abs(s.Values[i]-sums[k]) > 1e-9 {
+			t.Errorf("SUM[%s] = %v, want %v", k, s.Values[i], sums[k])
+		}
+	}
+}
+
+func TestBasicQueryAggregates(t *testing.T) {
+	b := dataset.NewBuilder("t", []model.Field{
+		{Name: "G", Kind: model.KindCategorical},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	for i, g := range []string{"a", "a", "a", "b", "b"} {
+		b.AddRow([]string{g}, []float64{float64(i + 1)}) // a: 1,2,3  b: 4,5
+	}
+	e := newEngine(t, b.Build(), true)
+	cases := []struct {
+		m    model.Measure
+		want map[string]float64
+	}{
+		{model.Sum("V"), map[string]float64{"a": 6, "b": 9}},
+		{model.Count("*"), map[string]float64{"a": 3, "b": 2}},
+		{model.Avg("V"), map[string]float64{"a": 2, "b": 4.5}},
+		{model.Min("V"), map[string]float64{"a": 1, "b": 4}},
+		{model.Max("V"), map[string]float64{"a": 3, "b": 5}},
+	}
+	for _, c := range cases {
+		s, err := e.BasicQuery(model.DataScope{Breakdown: "G", Measure: c.m})
+		if err != nil {
+			t.Fatalf("%s: %v", c.m, err)
+		}
+		for i, k := range s.Keys {
+			if s.Values[i] != c.want[k] {
+				t.Errorf("%s[%s] = %v, want %v", c.m, k, s.Values[i], c.want[k])
+			}
+		}
+	}
+}
+
+func TestBasicQueryOmitsEmptyGroups(t *testing.T) {
+	b := dataset.NewBuilder("t", []model.Field{
+		{Name: "City", Kind: model.KindCategorical},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	b.AddRow([]string{"LA", "Jan"}, []float64{1})
+	b.AddRow([]string{"LA", "Feb"}, []float64{2})
+	b.AddRow([]string{"SF", "Mar"}, []float64{3})
+	e := newEngine(t, b.Build(), true)
+	s, err := e.BasicQuery(model.DataScope{
+		Subspace:  model.NewSubspace(model.Filter{Dim: "City", Value: "LA"}),
+		Breakdown: "Month",
+		Measure:   model.Sum("V"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Keys) != 2 || s.Keys[0] != "Jan" || s.Keys[1] != "Feb" {
+		t.Errorf("keys = %v", s.Keys)
+	}
+}
+
+func TestQueryCacheHitSkipsScan(t *testing.T) {
+	tab := randomTable(2, 200)
+	e := newEngine(t, tab, true)
+	ds := model.DataScope{Breakdown: "Month", Measure: model.Sum("Sales")}
+	if _, err := e.BasicQuery(ds); err != nil {
+		t.Fatal(err)
+	}
+	execAfterFirst := e.Meter().ExecutedQueries()
+	cost1 := e.Meter().Cost()
+	// Same unit, different measure: must be a cache hit.
+	ds2 := ds
+	ds2.Measure = model.Avg("Profit")
+	if _, err := e.BasicQuery(ds2); err != nil {
+		t.Fatal(err)
+	}
+	if e.Meter().ExecutedQueries() != execAfterFirst {
+		t.Error("measure variant re-scanned despite cache")
+	}
+	if e.Meter().Cost() != cost1 {
+		t.Error("cache hit charged cost")
+	}
+	if e.Meter().ServedQueries() != 1 {
+		t.Errorf("served = %d", e.Meter().ServedQueries())
+	}
+}
+
+func TestDisabledCacheAlwaysScans(t *testing.T) {
+	tab := randomTable(3, 200)
+	e := newEngine(t, tab, false)
+	ds := model.DataScope{Breakdown: "Month", Measure: model.Sum("Sales")}
+	for i := 0; i < 3; i++ {
+		if _, err := e.BasicQuery(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Meter().ExecutedQueries() != 3 {
+		t.Errorf("executed = %d, want 3", e.Meter().ExecutedQueries())
+	}
+}
+
+func TestAugmentedQueryMatchesPerSiblingBasics(t *testing.T) {
+	tab := randomTable(4, 400)
+	// Reference engine without cache interference.
+	ref := newEngine(t, tab, false)
+	e := newEngine(t, tab, true)
+	anchor := model.DataScope{
+		Subspace:  model.NewSubspace(model.Filter{Dim: "City", Value: "LA"}),
+		Breakdown: "Month",
+		Measure:   model.Sum("Sales"),
+	}
+	units, err := e.AugmentedQuery(anchor, "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, city := range []string{"LA", "SF", "SD", "SJ"} {
+		u, ok := units[city]
+		if !ok {
+			t.Fatalf("missing sibling unit for %s", city)
+		}
+		ds := anchor
+		ds.Subspace = anchor.Subspace.With("City", city)
+		want, err := ref.BasicQuery(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(u.GroupKeys) != len(want.Keys) {
+			t.Fatalf("%s: group count %d vs %d", city, len(u.GroupKeys), len(want.Keys))
+		}
+		for i, k := range want.Keys {
+			if u.GroupKeys[i] != k || math.Abs(u.Sums["Sales"][i]-want.Values[i]) > 1e-9 {
+				t.Errorf("%s[%s]: %v vs %v", city, k, u.Sums["Sales"][i], want.Values[i])
+			}
+		}
+	}
+	// One scan must have answered all four siblings.
+	if e.Meter().ExecutedQueries() != 1 {
+		t.Errorf("augmented query executed %d scans", e.Meter().ExecutedQueries())
+	}
+	// Subsequent sibling basic queries are served by the cache.
+	dsSF := anchor
+	dsSF.Subspace = anchor.Subspace.With("City", "SF")
+	if _, err := e.BasicQuery(dsSF); err != nil {
+		t.Fatal(err)
+	}
+	if e.Meter().ExecutedQueries() != 1 {
+		t.Error("prefetched sibling re-scanned")
+	}
+}
+
+func TestAugmentedQueryRejectsBreakdownDim(t *testing.T) {
+	tab := randomTable(5, 50)
+	e := newEngine(t, tab, true)
+	anchor := model.DataScope{Breakdown: "Month", Measure: model.Sum("Sales")}
+	if _, err := e.AugmentedQuery(anchor, "Month"); err == nil {
+		t.Error("augmenting by the breakdown dimension must fail")
+	}
+}
+
+func TestImpact(t *testing.T) {
+	b := dataset.NewBuilder("t", []model.Field{
+		{Name: "City", Kind: model.KindCategorical},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	for i := 0; i < 8; i++ {
+		city := "LA"
+		if i >= 6 {
+			city = "SF"
+		}
+		b.AddRow([]string{city, "M" + strconv.Itoa(i%3+1)}, []float64{1})
+	}
+	e := newEngine(t, b.Build(), true)
+	if e.TotalImpact() != 8 {
+		t.Fatalf("total impact = %v", e.TotalImpact())
+	}
+	imp, err := e.Impact(model.NewSubspace(model.Filter{Dim: "City", Value: "LA"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imp-0.75) > 1e-12 {
+		t.Errorf("impact(LA) = %v, want 0.75", imp)
+	}
+	if imp, _ := e.Impact(model.EmptySubspace); imp != 1 {
+		t.Errorf("impact({*}) = %v", imp)
+	}
+}
+
+func TestImpactWithSumMeasure(t *testing.T) {
+	b := dataset.NewBuilder("t", []model.Field{
+		{Name: "City", Kind: model.KindCategorical},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	b.AddRow([]string{"LA"}, []float64{30})
+	b.AddRow([]string{"SF"}, []float64{70})
+	e, err := New(b.Build(), Config{ImpactMeasure: model.Sum("V")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := e.Impact(model.NewSubspace(model.Filter{Dim: "City", Value: "LA"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imp-0.3) > 1e-12 {
+		t.Errorf("impact = %v, want 0.3", imp)
+	}
+}
+
+func TestNewRejectsNonAdditiveImpact(t *testing.T) {
+	tab := randomTable(6, 20)
+	if _, err := New(tab, Config{ImpactMeasure: model.Avg("Sales")}); err == nil {
+		t.Error("AVG impact measure accepted")
+	}
+}
+
+func TestNewRejectsUnknownMeasure(t *testing.T) {
+	tab := randomTable(7, 20)
+	if _, err := New(tab, Config{Measures: []model.Measure{model.Sum("Nope")}}); err == nil {
+		t.Error("unknown measure column accepted")
+	}
+}
+
+func TestCostModelCharges(t *testing.T) {
+	tab := randomTable(8, 1000)
+	m := &Meter{}
+	e, err := New(tab, Config{
+		Cost:  CostModel{PerQuery: 5, PerRow: 0.001, PerEvaluation: 0.2},
+		Meter: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BasicQuery(model.DataScope{Breakdown: "Month", Measure: model.Sum("Sales")}); err != nil {
+		t.Fatal(err)
+	}
+	want := 5 + 0.001*1000
+	if math.Abs(m.Cost()-want) > 1e-6 {
+		t.Errorf("cost = %v, want %v", m.Cost(), want)
+	}
+	e.ChargeEvaluation()
+	if math.Abs(m.Cost()-want-0.2) > 1e-6 {
+		t.Error("evaluation cost not charged")
+	}
+}
+
+func TestUnitImpactConsistency(t *testing.T) {
+	// Sum of sibling impacts equals the parent impact (additivity — the
+	// property Equation 17 and the miner's Impact_HDS computation rely on).
+	tab := randomTable(9, 300)
+	e := newEngine(t, tab, true)
+	u, err := e.Unit(model.EmptySubspace, "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range u.Counts {
+		total += c
+	}
+	if total != float64(tab.Rows()) {
+		t.Errorf("sibling impacts sum to %v of %d rows", total, tab.Rows())
+	}
+}

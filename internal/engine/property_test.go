@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// TestBasicQueryMatchesNaiveProperty cross-checks the engine against direct
+// row iteration over many random data scopes, aggregates and filter depths —
+// the fundamental correctness property everything above the engine rests on.
+func TestBasicQueryMatchesNaiveProperty(t *testing.T) {
+	tab := randomTable(99, 800)
+	e := newEngine(t, tab, true)
+	r := rand.New(rand.NewSource(17))
+	dims := tab.DimensionNames()
+	aggs := []func(string) model.Measure{model.Sum, model.Avg, model.Min, model.Max}
+
+	for trial := 0; trial < 300; trial++ {
+		// Random subspace of random depth.
+		sub := model.EmptySubspace
+		depth := r.Intn(3)
+		for d := 0; d < depth; d++ {
+			dim := tab.Dimension(dims[r.Intn(len(dims))])
+			sub = sub.With(dim.Name, dim.Domain()[r.Intn(dim.Cardinality())])
+		}
+		// Random unfiltered breakdown.
+		breakdown := dims[r.Intn(len(dims))]
+		if sub.Has(breakdown) {
+			continue
+		}
+		var meas model.Measure
+		if r.Intn(5) == 0 {
+			meas = model.Count("*")
+		} else {
+			col := []string{"Sales", "Profit"}[r.Intn(2)]
+			meas = aggs[r.Intn(len(aggs))](col)
+		}
+		ds := model.DataScope{Subspace: sub, Breakdown: breakdown, Measure: meas}
+		got, err := e.BasicQuery(ds)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := naiveAnyAggregate(tab, ds)
+		if len(got.Keys) != len(want) {
+			t.Fatalf("trial %d %s: %d groups, want %d", trial, ds, len(got.Keys), len(want))
+		}
+		for i, k := range got.Keys {
+			if math.Abs(got.Values[i]-want[k]) > 1e-9*(1+math.Abs(want[k])) {
+				t.Fatalf("trial %d %s [%s]: %v, want %v", trial, ds, k, got.Values[i], want[k])
+			}
+		}
+	}
+}
+
+// naiveAnyAggregate computes the reference result for any aggregate by
+// direct row iteration.
+func naiveAnyAggregate(tab *dataset.Table, ds model.DataScope) map[string]float64 {
+	bcol := tab.Dimension(ds.Breakdown)
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	mins := map[string]float64{}
+	maxs := map[string]float64{}
+	mcol := tab.MeasureColumn(ds.Measure.Column)
+	for r := 0; r < tab.Rows(); r++ {
+		match := true
+		for _, f := range ds.Subspace {
+			col := tab.Dimension(f.Dim)
+			if col.Value(int(col.CodeAt(r))) != f.Value {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		g := bcol.Value(int(bcol.CodeAt(r)))
+		counts[g]++
+		if mcol != nil {
+			v := mcol.At(r)
+			sums[g] += v
+			if counts[g] == 1 || v < mins[g] {
+				mins[g] = v
+			}
+			if counts[g] == 1 || v > maxs[g] {
+				maxs[g] = v
+			}
+		}
+	}
+	out := map[string]float64{}
+	for g, c := range counts {
+		switch ds.Measure.Agg {
+		case model.AggCount:
+			out[g] = c
+		case model.AggSum:
+			out[g] = sums[g]
+		case model.AggAvg:
+			out[g] = sums[g] / c
+		case model.AggMin:
+			out[g] = mins[g]
+		case model.AggMax:
+			out[g] = maxs[g]
+		}
+	}
+	return out
+}
+
+// TestAugmentedEqualsBasicsProperty checks, over random anchors, that
+// augmented-query units agree with independently executed basic queries for
+// every sibling and measure.
+func TestAugmentedEqualsBasicsProperty(t *testing.T) {
+	tab := randomTable(7, 600)
+	r := rand.New(rand.NewSource(3))
+	dims := tab.DimensionNames()
+	for trial := 0; trial < 40; trial++ {
+		e := newEngine(t, tab, true)
+		ref := newEngine(t, tab, false)
+		extDim := dims[r.Intn(len(dims))]
+		breakdown := dims[r.Intn(len(dims))]
+		if breakdown == extDim {
+			continue
+		}
+		col := tab.Dimension(extDim)
+		anchor := model.DataScope{
+			Subspace:  model.NewSubspace(model.Filter{Dim: extDim, Value: col.Domain()[r.Intn(col.Cardinality())]}),
+			Breakdown: breakdown,
+			Measure:   model.Sum("Sales"),
+		}
+		units, err := e.AugmentedQuery(anchor, extDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, u := range units {
+			for _, m := range []model.Measure{model.Sum("Sales"), model.Avg("Profit"), model.Count("*")} {
+				ds := model.DataScope{
+					Subspace:  anchor.Subspace.With(extDim, v),
+					Breakdown: breakdown,
+					Measure:   m,
+				}
+				want, err := ref.BasicQuery(ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := extract(u, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Keys) != len(want.Keys) {
+					t.Fatalf("%s %s: %d vs %d groups", ds, m, len(got.Keys), len(want.Keys))
+				}
+				for i := range got.Keys {
+					if got.Keys[i] != want.Keys[i] ||
+						math.Abs(got.Values[i]-want.Values[i]) > 1e-9*(1+math.Abs(want.Values[i])) {
+						t.Fatalf("%s [%s]: %v vs %v", ds, got.Keys[i], got.Values[i], want.Values[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCacheTransparencyProperty: for any sequence of random queries, results
+// with the cache enabled equal results with it disabled.
+func TestCacheTransparencyProperty(t *testing.T) {
+	tab := randomTable(5, 500)
+	cached := newEngine(t, tab, true)
+	uncached, err := New(tab, Config{QueryCache: cache.NewQueryCache(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	dims := tab.DimensionNames()
+	for trial := 0; trial < 200; trial++ {
+		breakdown := dims[r.Intn(len(dims))]
+		sub := model.EmptySubspace
+		if r.Intn(2) == 0 {
+			d := dims[r.Intn(len(dims))]
+			if d != breakdown {
+				col := tab.Dimension(d)
+				sub = sub.With(d, col.Domain()[r.Intn(col.Cardinality())])
+			}
+		}
+		ds := model.DataScope{Subspace: sub, Breakdown: breakdown, Measure: model.Sum("Sales")}
+		a, errA := cached.BasicQuery(ds)
+		b, errB := uncached.BasicQuery(ds)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if len(a.Keys) != len(b.Keys) {
+			t.Fatalf("%s: %d vs %d groups", ds, len(a.Keys), len(b.Keys))
+		}
+		for i := range a.Keys {
+			if a.Keys[i] != b.Keys[i] || a.Values[i] != b.Values[i] {
+				t.Fatalf("%s: cache changed result at %s", ds, a.Keys[i])
+			}
+		}
+	}
+	if cached.Meter().ServedQueries() == 0 {
+		t.Error("cache never served — the property was not exercised")
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"metainsight/internal/core"
+	"metainsight/internal/pattern"
+)
+
+// DiscussionRow is one noise level of the categorization-robustness
+// comparison (the paper's Section 6 "alternative structured representation"
+// discussion made quantitative): how often each similarity measure recovers
+// the planted exception set exactly, over many random trials.
+type DiscussionRow struct {
+	NoiseSigma float64
+	PatternAcc float64 // pattern-based Sim (the paper's design)
+	RawKLAcc   float64 // KL clustering over raw distributions (the alternative)
+	Trials     int
+}
+
+// DiscussionResult holds the robustness curves.
+type DiscussionResult struct {
+	Rows []DiscussionRow
+}
+
+// monthKeys is the 12-point temporal axis used by the planted HDPs.
+var monthKeys = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// plantHDP builds one synthetic HDP's raw distributions: `common` members
+// share an April valley, `shifted` members have a July valley
+// (highlight-change exceptions) and `flat` members are even (type-change
+// exceptions). Magnitudes vary per member by a random scale — KL must ignore
+// that; highlights do. sigma is multiplicative noise.
+func plantHDP(r *rand.Rand, common, shifted, flat int, sigma float64) ([]core.RawDistribution, map[int]bool) {
+	valley := []float64{100, 70, 40, 10, 40, 70, 100, 100, 100, 100, 100, 100}
+	julyValley := []float64{100, 100, 100, 100, 70, 40, 10, 40, 70, 100, 100, 100}
+	even := []float64{60, 60, 60, 60, 60, 60, 60, 60, 60, 60, 60, 60}
+
+	var dists []core.RawDistribution
+	truth := map[int]bool{}
+	add := func(base []float64, isException bool) {
+		// Per-member magnitude and baseline offset: a city with triple the
+		// sales and a higher floor still "dips in April". The highlight is
+		// invariant to both; the normalized raw distribution is not — the
+		// semantics-vs-shape distinction of Section 6.
+		scale := 0.5 + 4*r.Float64()
+		offset := 200 * r.Float64()
+		vals := make([]float64, len(base))
+		for i, v := range base {
+			noise := 1 + sigma*r.NormFloat64()
+			if noise < 0.05 {
+				noise = 0.05
+			}
+			vals[i] = (offset + v*scale) * noise
+		}
+		idx := len(dists)
+		dists = append(dists, core.RawDistribution{Scope: idx, Keys: monthKeys, Values: vals})
+		if isException {
+			truth[idx] = true
+		}
+	}
+	for i := 0; i < common; i++ {
+		add(valley, false)
+	}
+	for i := 0; i < shifted; i++ {
+		add(julyValley, true)
+	}
+	for i := 0; i < flat; i++ {
+		add(even, true)
+	}
+	return dists, truth
+}
+
+// Discussion runs the categorization-robustness comparison: planted HDPs
+// (6 commonness members + 1 highlight-change + 1 type-change exception)
+// under increasing multiplicative noise; each method's accuracy is the
+// fraction of trials in which it recovers exactly the planted exception set.
+func Discussion(w io.Writer, trials int, seed int64) DiscussionResult {
+	if trials <= 0 {
+		trials = 200
+	}
+	cfg := pattern.DefaultConfig()
+	rawParams := core.DefaultRawClusterParams()
+	sigmas := []float64{0, 0.02, 0.05, 0.10, 0.15, 0.20}
+
+	var res DiscussionResult
+	fprintf(w, "Section 6 discussion — categorization robustness, pattern-based Sim vs KL over raw distributions\n")
+	fprintf(w, "(exact recovery of the planted exception set; %d trials per noise level)\n", trials)
+	fprintf(w, "%-12s %14s %14s\n", "noise σ", "pattern-based", "raw-KL")
+	r := rand.New(rand.NewSource(seed))
+	for _, sigma := range sigmas {
+		patternHits, rawHits := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			dists, truth := plantHDP(r, 6, 1, 1, sigma)
+			if cat, ok := core.BuildPatternCategorization(dists, pattern.Unimodality, true, cfg, 0.5); ok &&
+				core.ExceptionSetEquals(cat.ExceptionIdx, truth) {
+				patternHits++
+			}
+			if cat, ok := core.CategorizeRaw(dists, rawParams); ok &&
+				core.ExceptionSetEquals(cat.ExceptionIdx, truth) {
+				rawHits++
+			}
+		}
+		row := DiscussionRow{
+			NoiseSigma: sigma,
+			PatternAcc: float64(patternHits) / float64(trials),
+			RawKLAcc:   float64(rawHits) / float64(trials),
+			Trials:     trials,
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "%-12.2f %13.1f%% %13.1f%%\n", sigma, row.PatternAcc*100, row.RawKLAcc*100)
+	}
+	if len(res.Rows) > 0 {
+		fprintf(w, "pattern-based similarity mean accuracy: %.1f%%; raw-KL: %.1f%% (the paper argues the former encodes analysis semantics and is more robust)\n\n",
+			mean(res.Rows, func(r DiscussionRow) float64 { return r.PatternAcc })*100,
+			mean(res.Rows, func(r DiscussionRow) float64 { return r.RawKLAcc })*100)
+	}
+	return res
+}
+
+func mean(rows []DiscussionRow, f func(DiscussionRow) float64) float64 {
+	if len(rows) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += f(r)
+	}
+	return s / float64(len(rows))
+}

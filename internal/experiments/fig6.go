@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"io"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/workload"
+)
+
+// Fig6Settings are the four configurations of Figure 6, in legend order.
+var Fig6Settings = []struct {
+	Name  string
+	Setup func() Setup
+}{
+	{"Full Functionality", FullFunctionality},
+	{"w/o Pattern Cache", func() Setup {
+		s := FullFunctionality()
+		s.PatternCache = false
+		return s
+	}},
+	{"w/o Query Cache", func() Setup {
+		s := FullFunctionality()
+		s.QueryCache = false
+		return s
+	}},
+	{"FIFO Queue", func() Setup {
+		s := FullFunctionality()
+		s.Priority = false
+		return s
+	}},
+}
+
+// Fig6Series is one precision-vs-budget curve of Figure 6.
+type Fig6Series struct {
+	Dataset   string
+	Setting   string
+	Budgets   []float64 // cost units
+	Precision []float64 // MetaInsight precision β against the golden set
+}
+
+// Fig6Result collects all curves for one dataset.
+type Fig6Result struct {
+	Dataset    string
+	GoldenCost float64 // cost of the unbudgeted golden run
+	GoldenSize int     // MetaInsights in the golden set
+	Series     []Fig6Series
+}
+
+// Figure6Dataset runs the Figure 6 ablation study on one dataset: the golden
+// set comes from an unbudgeted full-functionality run (the paper uses a
+// 600-second budget, generous enough to complete); each setting is then run
+// at each budget fraction and scored with MetaInsight precision.
+func Figure6Dataset(w io.Writer, tab *dataset.Table, fractions []float64) Fig6Result {
+	golden, _ := FullFunctionality().Run(tab)
+	goldenKeys := golden.Keys()
+	res := Fig6Result{
+		Dataset:    tab.Name(),
+		GoldenCost: golden.Stats.CostUsed,
+		GoldenSize: len(goldenKeys),
+	}
+	fprintf(w, "Figure 6 — %s (golden: %d MetaInsights, %.0f cost units)\n",
+		tab.Name(), res.GoldenSize, res.GoldenCost)
+	fprintf(w, "%-20s", "budget(units)")
+	budgets := make([]float64, len(fractions))
+	for i, f := range fractions {
+		budgets[i] = f * golden.Stats.CostUsed
+		fprintf(w, " %8.0f", budgets[i])
+	}
+	fprintf(w, "\n")
+
+	for _, setting := range Fig6Settings {
+		series := Fig6Series{Dataset: tab.Name(), Setting: setting.Name, Budgets: budgets}
+		fprintf(w, "%-20s", setting.Name)
+		for _, b := range budgets {
+			setup := setting.Setup()
+			setup.BudgetUnits = b
+			run, _ := setup.Run(tab)
+			p := precisionAgainst(goldenKeys, run)
+			series.Precision = append(series.Precision, p)
+			fprintf(w, " %8.3f", p)
+		}
+		fprintf(w, "\n")
+		res.Series = append(res.Series, series)
+	}
+	fprintf(w, "\n")
+	return res
+}
+
+// DefaultFig6Fractions sweeps budgets from 2% to 100% of the golden cost,
+// mirroring the paper's budget axes.
+var DefaultFig6Fractions = []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.75, 1.0}
+
+// Figure6 runs the ablation on the paper's four datasets (Sales Forecast,
+// Tablet Sales, Credit Card, Hotel Booking).
+func Figure6(w io.Writer) []Fig6Result {
+	out := make([]Fig6Result, 0, 4)
+	for _, tab := range workload.FourLargeDatasets() {
+		out = append(out, Figure6Dataset(w, tab, DefaultFig6Fractions))
+	}
+	return out
+}

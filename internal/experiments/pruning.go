@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"io"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/workload"
+)
+
+// PruningRow quantifies the two pruning rules of Section 4.2.3 on one
+// dataset — an ablation the paper motivates ("HDP evaluation should be
+// terminated based on MetaInsights' criteria; trivial MetaInsights should be
+// discarded") but does not table.
+type PruningRow struct {
+	Dataset string
+	// WithPruning / WithoutPruning are the deterministic cost totals of the
+	// full unbudgeted run.
+	WithPruningCost    float64
+	WithoutPruningCost float64
+	// Pruned1 counts HDP evaluations cut short (no commonness reachable);
+	// Pruned2 counts MetaInsight compute units discarded for negligible
+	// impact.
+	Pruned1 int64
+	Pruned2 int64
+	// SavedPct is the cost saved by the prunings.
+	SavedPct float64
+	// NoCacheSavedPct is the cost saved when the query cache is disabled —
+	// the regime the paper's pruning design targets, where every skipped
+	// HDP-member evaluation skips a real query.
+	NoCacheSavedPct float64
+	// SameResults verifies that pruning never changes the mined set.
+	SameResults bool
+}
+
+// Pruning runs each dataset with and without the pruning rules and reports
+// the cost saved. Pruning must be free of false negatives: both runs must
+// mine the identical MetaInsight set.
+func Pruning(w io.Writer, tables []*dataset.Table) []PruningRow {
+	fprintf(w, "Pruning effectiveness (Section 4.2.3) — cost with vs without Prunings 1 & 2\n")
+	fprintf(w, "%-15s %12s %12s %8s %12s %9s %9s %6s\n",
+		"dataset", "with", "without", "saved", "saved(noQC)", "#pruned1", "#pruned2", "same")
+	var rows []PruningRow
+	for _, tab := range tables {
+		on, _ := FullFunctionality().Run(tab)
+
+		offSetup := FullFunctionality()
+		offSetup.DisablePruning = true
+		off, _ := offSetup.Run(tab)
+
+		ncOn := FullFunctionality()
+		ncOn.QueryCache = false
+		ncOnRes, _ := ncOn.Run(tab)
+		ncOff := ncOn
+		ncOff.DisablePruning = true
+		ncOffRes, _ := ncOff.Run(tab)
+
+		row := PruningRow{
+			Dataset:            tab.Name(),
+			WithPruningCost:    on.Stats.CostUsed,
+			WithoutPruningCost: off.Stats.CostUsed,
+			Pruned1:            on.Stats.Pruned1,
+			Pruned2:            on.Stats.Pruned2,
+			SavedPct:           (1 - on.Stats.CostUsed/off.Stats.CostUsed) * 100,
+			NoCacheSavedPct:    (1 - ncOnRes.Stats.CostUsed/ncOffRes.Stats.CostUsed) * 100,
+		}
+		onKeys, offKeys := on.Keys(), off.Keys()
+		row.SameResults = len(onKeys) == len(offKeys)
+		if row.SameResults {
+			for k := range onKeys {
+				if !offKeys[k] {
+					row.SameResults = false
+					break
+				}
+			}
+		}
+		rows = append(rows, row)
+		fprintf(w, "%-15s %12.0f %12.0f %7.1f%% %11.1f%% %9d %9d %6v\n",
+			row.Dataset, row.WithPruningCost, row.WithoutPruningCost,
+			row.SavedPct, row.NoCacheSavedPct, row.Pruned1, row.Pruned2, row.SameResults)
+	}
+	fprintf(w, "\n")
+	return rows
+}
+
+// PruningDefault runs the pruning ablation on the four large datasets.
+func PruningDefault(w io.Writer) []PruningRow {
+	return Pruning(w, workload.FourLargeDatasets())
+}

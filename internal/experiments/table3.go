@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"io"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/workload"
+)
+
+// Table3Row is one size bucket of Table 3.
+type Table3Row struct {
+	Bucket string
+	// Datasets in the bucket.
+	Count int
+	// QueryCacheMB is the average query-cache size in megabytes (#Cq).
+	QueryCacheMB float64
+	// QueryHitRate is the average query-cache hit rate (r_q).
+	QueryHitRate float64
+	// PatternEntries is the average pattern-cache entry count (#Cp).
+	PatternEntries float64
+	// PatternHitRate is the average pattern-cache hit rate (r_p).
+	PatternHitRate float64
+}
+
+// Table3Result reproduces Table 3 (cache statistics over the 35 datasets).
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3Datasets mines each dataset with full functionality and aggregates
+// cache statistics per size bucket.
+func Table3Datasets(w io.Writer, tables []*dataset.Table) Table3Result {
+	type acc struct {
+		n        int
+		mb       float64
+		qRate    float64
+		pEntries float64
+		pRate    float64
+	}
+	buckets := map[string]*acc{}
+	for _, tab := range tables {
+		run, _ := FullFunctionality().Run(tab)
+		b := workload.BucketLabel(tab.Cells())
+		a := buckets[b]
+		if a == nil {
+			a = &acc{}
+			buckets[b] = a
+		}
+		a.n++
+		a.mb += float64(run.Stats.QueryCacheStats.Bytes) / (1 << 20)
+		a.qRate += run.Stats.QueryCacheStats.HitRate()
+		a.pEntries += float64(run.Stats.PatternCacheStats.Entries)
+		a.pRate += run.Stats.PatternCacheStats.HitRate()
+	}
+	var res Table3Result
+	fprintf(w, "Table 3 — cache statistics (averages per size bucket)\n")
+	fprintf(w, "%-10s %5s %10s %8s %10s %8s\n", "#Cells", "n", "#Cq(MB)", "rq", "#Cp", "rp")
+	for _, b := range workload.BucketOrder {
+		a := buckets[b]
+		if a == nil {
+			continue
+		}
+		row := Table3Row{
+			Bucket:         b,
+			Count:          a.n,
+			QueryCacheMB:   a.mb / float64(a.n),
+			QueryHitRate:   a.qRate / float64(a.n),
+			PatternEntries: a.pEntries / float64(a.n),
+			PatternHitRate: a.pRate / float64(a.n),
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "%-10s %5d %10.2f %7.1f%% %10.0f %7.1f%%\n",
+			row.Bucket, row.Count, row.QueryCacheMB, row.QueryHitRate*100,
+			row.PatternEntries, row.PatternHitRate*100)
+	}
+	fprintf(w, "\n")
+	return res
+}
+
+// Table3 runs the cache-statistics experiment over the 35-dataset suite.
+func Table3(w io.Writer) Table3Result {
+	return Table3Datasets(w, workload.Suite())
+}

@@ -1,0 +1,42 @@
+package icube
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws a Result as a textual stacked-bar chart in the style of the
+// paper's Figure 11: one row per extended member showing the two compared
+// values' shares, with exceptions (per the KL clustering) marked.
+func Render(r *Result, width int) string {
+	if width < 10 {
+		width = 40
+	}
+	exc := make(map[int]bool, len(r.ExceptionIdx))
+	for _, i := range r.ExceptionIdx {
+		exc[i] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s vs %s, extended by %s\n", r.Breakdown, r.V1, r.V2, r.ExtDim)
+	nameWidth := 0
+	for _, m := range r.Members {
+		if len(m.Name) > nameWidth {
+			nameWidth = len(m.Name)
+		}
+	}
+	for i, m := range r.Members {
+		left := int(m.P[0]*float64(width) + 0.5)
+		mark := " "
+		if exc[i] {
+			mark = "*" // exception per KL clustering
+		}
+		fmt.Fprintf(&b, "%s %-*s |%s%s| %.0f%%\n",
+			mark, nameWidth, m.Name,
+			strings.Repeat("█", left), strings.Repeat("░", width-left),
+			m.P[0]*100)
+	}
+	if len(r.ExceptionIdx) > 0 {
+		b.WriteString("  (* = exception per KL clustering)\n")
+	}
+	return b.String()
+}

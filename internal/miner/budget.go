@@ -1,0 +1,22 @@
+package miner
+
+import (
+	"metainsight/internal/engine"
+)
+
+// Budget and its implementations live in internal/engine (they are defined
+// in terms of the engine's cost meter); these aliases keep the miner's
+// configuration surface self-contained.
+type (
+	// Budget bounds a progressive mining run.
+	Budget = engine.Budget
+	// CostBudget bounds mining by deterministic metered cost units.
+	CostBudget = engine.CostBudget
+	// TimeBudget bounds mining by wall-clock time.
+	TimeBudget = engine.TimeBudget
+	// Unlimited never expires.
+	Unlimited = engine.Unlimited
+)
+
+// NewTimeBudget returns a TimeBudget expiring after the given duration.
+var NewTimeBudget = engine.NewTimeBudget

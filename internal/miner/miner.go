@@ -1,0 +1,629 @@
+// Package miner implements the MetaInsight mining procedure of Section 4.2:
+// pattern-guided search over data scopes, impact-ordered priority queues for
+// the data-pattern and MetaInsight compute units, augmented-query prefetching
+// through the query cache, pattern-cache memoization of evaluations, the two
+// pruning rules, and a progressive budget. The procedure is decomposed into
+// the paper's three functionalities — search (subspace expansion), query
+// (internal/engine + internal/cache) and evaluation (internal/pattern +
+// internal/core) — wired together by a dispatcher and a worker pool.
+package miner
+
+import (
+	"sort"
+	"sync"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/core"
+	"metainsight/internal/engine"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+)
+
+// Config configures a mining run.
+type Config struct {
+	// Score holds the MetaInsight scoring hyper-parameters (τ, k, r, γ).
+	Score core.ScoreParams
+	// Pattern holds the evaluation-criterion thresholds.
+	Pattern pattern.Config
+	// MaxSubspaceFilters caps the number of non-empty filters in a subspace;
+	// the paper's configuration uses 3.
+	MaxSubspaceFilters int
+	// MaxBreakdownCardinality skips breakdown dimensions with larger
+	// domains (unbounded if 0). Very high-cardinality breakdowns produce
+	// unreadable charts and dominate cost.
+	MaxBreakdownCardinality int
+	// MinImpact is Pruning 2's threshold: MetaInsight compute units whose
+	// g(Impact_HDS) falls below it are discarded (the paper suggests 0.01).
+	// Set negative to disable.
+	MinImpact float64
+	// MinSubspaceImpact prunes the subspace search frontier: children whose
+	// impact falls below it are not explored. It must be at most MinImpact
+	// for Pruning 2 to remain meaningful (an HDS's impact is never below its
+	// anchor subspace's). Set negative to disable.
+	MinSubspaceImpact float64
+	// Workers is the number of evaluation goroutines; the paper uses 8.
+	Workers int
+	// UsePriorityQueues selects impact-ordered queues (true, the paper's
+	// design) or FIFO queues (the Figure 6 ablation baseline).
+	UsePriorityQueues bool
+	// EnablePruning1 enables early termination of HDP evaluation once no
+	// commonness can reach τ.
+	EnablePruning1 bool
+	// EnablePruning2 enables discarding low-impact MetaInsight units.
+	EnablePruning2 bool
+	// Budget bounds the run; nil means Unlimited.
+	Budget Budget
+	// PatternCache is the evaluation memo; nil creates an enabled cache.
+	// Pass a disabled cache for the "w/o Pattern Cache" ablation.
+	PatternCache *cache.PatternCache[*pattern.ScopeEvaluation]
+	// OnMetaInsight, when set, is invoked once for each newly stored
+	// MetaInsight as the progressive mining run discovers it. It may be
+	// called from multiple worker goroutines concurrently.
+	OnMetaInsight func(*core.MetaInsight)
+	// PatternsFirst schedules MetaInsight compute units only when no
+	// data-pattern work is pending, following the sequential reading of the
+	// paper's workflow (the data pattern mining module feeds the
+	// MetaInsight mining module). The default (false) is the best-effort
+	// progressive scheduler: one merged impact-ordered queue, which lets
+	// augmented-query prefetches also serve upcoming data-pattern units —
+	// strictly fewer executed queries, at the price of deviating from the
+	// paper's two-module accounting (see the Figure 7 experiment).
+	PatternsFirst bool
+}
+
+// DefaultConfig mirrors the paper's configuration: depth-3 subspaces,
+// 8 workers, priority queues, both prunings, τ = 0.5 scoring.
+func DefaultConfig() Config {
+	return Config{
+		Score:                   core.DefaultScoreParams(),
+		Pattern:                 pattern.DefaultConfig(),
+		MaxSubspaceFilters:      3,
+		MaxBreakdownCardinality: 50,
+		MinImpact:               0.01,
+		MinSubspaceImpact:       0.005,
+		Workers:                 8,
+		UsePriorityQueues:       true,
+		EnablePruning1:          true,
+		EnablePruning2:          true,
+		Budget:                  Unlimited{},
+	}
+}
+
+// Stats aggregates counters from one mining run.
+type Stats struct {
+	ExpandUnits       int64 // subspace expansions processed
+	DataPatternUnits  int64 // data-pattern compute units processed
+	MetaInsightUnits  int64 // MetaInsight compute units processed
+	EmittedMIUnits    int64 // MetaInsight compute units emitted
+	PatternsFound     int64 // valid (scope, type) basic data patterns
+	Pruned1           int64 // HDP evaluations cut short by Pruning 1
+	Pruned2           int64 // MetaInsight units discarded by Pruning 2
+	ExecutedQueries   int64
+	AugmentedQueries  int64
+	CacheServed       int64
+	CostUsed          float64
+	QueryCacheStats   cache.Stats
+	PatternCacheStats cache.Stats
+}
+
+// Result is the outcome of a mining run: all qualified MetaInsight
+// candidates (deduplicated by identity key, sorted by score descending) and
+// run statistics. Candidates feed the ranking stage (Section 4.3).
+type Result struct {
+	MetaInsights []*core.MetaInsight
+	Stats        Stats
+}
+
+// Keys returns the identity keys of the mined MetaInsights, the set the
+// precision metric of Definition 5.1 intersects.
+func (r *Result) Keys() map[string]bool {
+	keys := make(map[string]bool, len(r.MetaInsights))
+	for _, mi := range r.MetaInsights {
+		keys[mi.Key()] = true
+	}
+	return keys
+}
+
+// Miner drives one mining run over an engine.
+type Miner struct {
+	eng *engine.Engine
+	cfg Config
+
+	pcache *cache.PatternCache[*pattern.ScopeEvaluation]
+
+	mu      sync.Mutex
+	results map[string]*core.MetaInsight
+	seenMI  map[string]bool
+	stats   Stats
+	seq     int64
+}
+
+// New creates a Miner. The zero-value parts of cfg are filled with defaults.
+func New(eng *engine.Engine, cfg Config) *Miner {
+	def := DefaultConfig()
+	if cfg.Score == (core.ScoreParams{}) {
+		cfg.Score = def.Score
+	}
+	if cfg.Pattern.Alpha == 0 {
+		custom := cfg.Pattern.Custom
+		cfg.Pattern = def.Pattern
+		cfg.Pattern.Custom = custom
+	}
+	if cfg.MaxSubspaceFilters == 0 {
+		cfg.MaxSubspaceFilters = def.MaxSubspaceFilters
+	}
+	if cfg.MaxBreakdownCardinality == 0 {
+		cfg.MaxBreakdownCardinality = def.MaxBreakdownCardinality
+	}
+	if cfg.MinImpact == 0 {
+		cfg.MinImpact = def.MinImpact
+	}
+	if cfg.MinSubspaceImpact == 0 {
+		cfg.MinSubspaceImpact = def.MinSubspaceImpact
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.Budget == nil {
+		cfg.Budget = Unlimited{}
+	}
+	if cfg.PatternCache == nil {
+		cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](true)
+	}
+	return &Miner{
+		eng:     eng,
+		cfg:     cfg,
+		pcache:  cfg.PatternCache,
+		results: make(map[string]*core.MetaInsight),
+		seenMI:  make(map[string]bool),
+	}
+}
+
+// Run executes the mining procedure and returns all discovered MetaInsights.
+func (m *Miner) Run() *Result {
+	patternQueue := m.newQueue()
+	miQueue := patternQueue
+	if m.cfg.PatternsFirst {
+		miQueue = m.newQueue()
+	}
+	root := &workUnit{
+		kind:      kindExpand,
+		priority:  1,
+		subspace:  model.EmptySubspace,
+		impact:    1,
+		maxDimIdx: -1,
+	}
+	patternQueue.Push(root)
+
+	type completion struct {
+		produced   []*workUnit
+		wasPattern bool
+	}
+	workCh := make(chan *workUnit)
+	doneCh := make(chan completion)
+	var wg sync.WaitGroup
+	for i := 0; i < m.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range workCh {
+				doneCh <- completion{produced: m.process(u), wasPattern: u.kind != kindMetaInsight}
+			}
+		}()
+	}
+
+	inflight := 0
+	patternInflight := 0
+	// pop selects the queue to dispatch from: the pattern queue first and —
+	// under PatternsFirst — the MetaInsight queue only once no pattern unit
+	// is pending or in flight that could refill it (the paper's
+	// module-feeding order). With a single merged queue both branches see
+	// the same heap.
+	pop := func() workQueue {
+		if patternQueue.Len() > 0 {
+			return patternQueue
+		}
+		if m.cfg.PatternsFirst && patternInflight > 0 {
+			return nil
+		}
+		if miQueue.Len() > 0 {
+			return miQueue
+		}
+		return nil
+	}
+	enqueue := func(units []*workUnit) {
+		for _, u := range units {
+			m.seq++
+			u.seq = m.seq
+			if u.kind == kindMetaInsight {
+				miQueue.Push(u)
+			} else {
+				patternQueue.Push(u)
+			}
+		}
+	}
+	receive := func(c completion) {
+		enqueue(c.produced)
+		inflight--
+		if c.wasPattern {
+			patternInflight--
+		}
+	}
+
+	for {
+		if m.cfg.Budget.Exceeded() {
+			break
+		}
+		q := pop()
+		if q == nil && inflight == 0 {
+			break
+		}
+		if q == nil {
+			receive(<-doneCh)
+			continue
+		}
+		next := q.Peek()
+		select {
+		case workCh <- next:
+			q.Pop()
+			inflight++
+			if next.kind != kindMetaInsight {
+				patternInflight++
+			}
+		case c := <-doneCh:
+			receive(c)
+		}
+	}
+	close(workCh)
+	// Drain remaining in-flight units; their output is discarded (the
+	// budget is spent).
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+	for range doneCh {
+	}
+
+	return m.finish()
+}
+
+func (m *Miner) newQueue() workQueue {
+	if m.cfg.UsePriorityQueues {
+		return newPriorityQueue()
+	}
+	return newFIFOQueue()
+}
+
+func (m *Miner) enqueue(q workQueue, units []*workUnit) {
+	for _, u := range units {
+		m.seq++
+		u.seq = m.seq
+		q.Push(u)
+	}
+}
+
+func (m *Miner) finish() *Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*core.MetaInsight, 0, len(m.results))
+	for _, mi := range m.results {
+		out = append(out, mi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	meter := m.eng.Meter()
+	m.stats.ExecutedQueries = meter.ExecutedQueries()
+	m.stats.AugmentedQueries = meter.AugmentedQueries()
+	m.stats.CacheServed = meter.ServedQueries()
+	m.stats.CostUsed = meter.Cost()
+	m.stats.QueryCacheStats = m.eng.QueryCache().Stats()
+	m.stats.PatternCacheStats = m.pcache.Stats()
+	return &Result{MetaInsights: out, Stats: m.stats}
+}
+
+// process dispatches one compute unit to its handler.
+func (m *Miner) process(u *workUnit) []*workUnit {
+	switch u.kind {
+	case kindExpand:
+		return m.processExpand(u)
+	case kindDataPattern:
+		return m.processDataPattern(u)
+	case kindMetaInsight:
+		m.processMetaInsight(u)
+		return nil
+	default:
+		panic("miner: unknown unit kind")
+	}
+}
+
+// processExpand emits the data-pattern compute units for a subspace and, if
+// the subspace is not at maximum depth, its child subspaces with their
+// impacts (computed from one group-by unit per expandable dimension — the
+// same units the data-pattern module will need, so the scans are shared
+// through the query cache).
+func (m *Miner) processExpand(u *workUnit) []*workUnit {
+	m.addStat(func(s *Stats) { s.ExpandUnits++ })
+	tab := m.eng.Table()
+	var produced []*workUnit
+
+	for _, dim := range tab.DimensionNames() {
+		if u.subspace.Has(dim) {
+			continue
+		}
+		col := tab.Dimension(dim)
+		if col.Cardinality() < 3 {
+			continue // too few groups for any pattern criterion
+		}
+		if m.cfg.MaxBreakdownCardinality > 0 && col.Cardinality() > m.cfg.MaxBreakdownCardinality {
+			continue
+		}
+		produced = append(produced, &workUnit{
+			kind:      kindDataPattern,
+			priority:  u.impact,
+			subspace:  u.subspace,
+			impact:    u.impact,
+			breakdown: dim,
+		})
+	}
+
+	if u.subspace.Len() >= m.cfg.MaxSubspaceFilters {
+		return produced
+	}
+	dims := tab.Dimensions()
+	for idx := u.maxDimIdx + 1; idx < len(dims); idx++ {
+		if m.cfg.Budget.Exceeded() {
+			break
+		}
+		dim := dims[idx]
+		if u.subspace.Has(dim.Name) {
+			continue
+		}
+		if m.cfg.MaxBreakdownCardinality > 0 && dim.Cardinality() > m.cfg.MaxBreakdownCardinality {
+			continue
+		}
+		unit, err := m.eng.Unit(u.subspace, dim.Name)
+		if err != nil {
+			continue
+		}
+		childImpacts := m.unitImpacts(unit)
+		for gi, v := range unit.GroupKeys {
+			imp := childImpacts[gi]
+			if imp < m.cfg.MinSubspaceImpact {
+				continue
+			}
+			produced = append(produced, &workUnit{
+				kind:      kindExpand,
+				priority:  imp,
+				subspace:  u.subspace.With(dim.Name, v),
+				impact:    imp,
+				maxDimIdx: idx,
+			})
+		}
+	}
+	return produced
+}
+
+// unitImpacts returns the impact of each group's child subspace, using the
+// additive impact measure's per-group values from the unit.
+func (m *Miner) unitImpacts(u *cache.Unit) []float64 {
+	im := m.eng.ImpactMeasure()
+	total := m.eng.TotalImpact()
+	out := make([]float64, len(u.GroupKeys))
+	var src []float64
+	if im.Agg == model.AggCount {
+		src = u.Counts
+	} else {
+		src = u.Sums[im.Column]
+	}
+	for i, v := range src {
+		out[i] = v / total
+	}
+	return out
+}
+
+// processDataPattern evaluates every measure and pattern type on one
+// (subspace, breakdown) scope family and emits MetaInsight compute units for
+// each discovered basic data pattern (pattern-guided mining, Figure 4).
+func (m *Miner) processDataPattern(u *workUnit) []*workUnit {
+	m.addStat(func(s *Stats) { s.DataPatternUnits++ })
+	tab := m.eng.Table()
+	bcol := tab.Dimension(u.breakdown)
+	temporal := bcol.Kind == model.KindTemporal
+
+	// One unit fetch serves every measure of the scope family (the cache
+	// unit spans all measures, Figure 5).
+	unit, err := m.eng.Unit(u.subspace, u.breakdown)
+	if err != nil {
+		return nil
+	}
+	var produced []*workUnit
+	for _, meas := range m.eng.Measures() {
+		ds := model.DataScope{Subspace: u.subspace, Breakdown: u.breakdown, Measure: meas}
+		series, err := engine.Extract(unit, ds)
+		if err != nil || series.Len() < 3 {
+			continue
+		}
+		se := m.evaluateScope(ds, series, temporal)
+		for _, t := range se.ValidTypes() {
+			m.addStat(func(s *Stats) { s.PatternsFound++ })
+			produced = append(produced, m.emitMetaInsightUnits(ds, t, u.impact)...)
+		}
+	}
+	return produced
+}
+
+// evaluateScope runs (or recalls) the all-types evaluation of one data scope
+// through the pattern cache.
+func (m *Miner) evaluateScope(ds model.DataScope, series *engine.Series, temporal bool) *pattern.ScopeEvaluation {
+	key := ds.Key()
+	if se, ok := m.pcache.Get(key); ok {
+		return se
+	}
+	se := pattern.EvaluateAllScoped(ds, series.Keys, series.Values, temporal, m.cfg.Pattern)
+	m.eng.ChargeEvaluation()
+	m.pcache.Put(key, se)
+	return se
+}
+
+// emitMetaInsightUnits applies the three extension strategies to a
+// discovered basic data pattern dp = (ds, t, ·) and emits one MetaInsight
+// compute unit per resulting HDS (deduplicated across anchors), applying
+// Pruning 2 on the HDS impact.
+func (m *Miner) emitMetaInsightUnits(ds model.DataScope, t pattern.Type, impactS float64) []*workUnit {
+	tab := m.eng.Table()
+	var produced []*workUnit
+
+	emit := func(hds core.HDS, impactHDS float64) {
+		if len(hds.Scopes) < 2 {
+			return
+		}
+		key := hds.Key() + "|" + t.String()
+		m.mu.Lock()
+		seen := m.seenMI[key]
+		if !seen {
+			m.seenMI[key] = true
+		}
+		m.mu.Unlock()
+		if seen {
+			return
+		}
+		if m.cfg.EnablePruning2 && minClamp(impactHDS) < m.cfg.MinImpact {
+			m.addStat(func(s *Stats) { s.Pruned2++ })
+			return
+		}
+		m.addStat(func(s *Stats) { s.EmittedMIUnits++ })
+		produced = append(produced, &workUnit{
+			kind:      kindMetaInsight,
+			priority:  impactHDS,
+			hds:       hds,
+			ptype:     t,
+			impactHDS: impactHDS,
+		})
+	}
+
+	// Subspace extending: one HDS per non-empty filter of ds.Subspace.
+	for _, f := range ds.Subspace {
+		col := tab.Dimension(f.Dim)
+		if col == nil || col.Cardinality() < 2 {
+			continue
+		}
+		hds := core.SubspaceHDS(ds, f.Dim, col.Domain())
+		// Impact_HDS = Impact(subspace without the extended filter), by
+		// additivity of the impact measure over the sibling group.
+		rootImpact, err := m.eng.Impact(hds.RootSubspace())
+		if err != nil {
+			continue
+		}
+		emit(hds, rootImpact)
+	}
+
+	// Measure extending.
+	if ms := m.eng.Measures(); len(ms) >= 2 {
+		hds := core.MeasureHDS(ds, ms)
+		emit(hds, float64(len(ms))*impactS)
+	}
+
+	// Breakdown extending: only from a temporal anchor breakdown, across all
+	// temporal dimensions.
+	if tab.Dimension(ds.Breakdown).Kind == model.KindTemporal {
+		hds := core.BreakdownHDS(ds, tab.TemporalDimensions())
+		emit(hds, float64(len(hds.Scopes))*impactS)
+	}
+	return produced
+}
+
+func minClamp(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// processMetaInsight evaluates one HDP and records the resulting
+// MetaInsight, if any. Subspace-extended HDSs are prefetched with one
+// augmented query when the query cache is enabled; Pruning 1 aborts the
+// evaluation as soon as no commonness can reach τ.
+func (m *Miner) processMetaInsight(u *workUnit) {
+	m.addStat(func(s *Stats) { s.MetaInsightUnits++ })
+	tab := m.eng.Table()
+
+	if u.hds.Kind == model.ExtendSubspace && m.eng.QueryCache().Enabled() {
+		// One augmented query prefetches the entire sibling group; issue it
+		// unless every sibling unit is already cached.
+		for _, scope := range u.hds.Scopes {
+			if _, ok := m.eng.QueryCache().Peek(scope.Subspace.Key(), scope.Breakdown); !ok {
+				if _, err := m.eng.AugmentedQuery(u.hds.Anchor, u.hds.ExtDim); err != nil {
+					return
+				}
+				break
+			}
+		}
+	}
+
+	n := len(u.hds.Scopes)
+	patterns := make([]core.DataPattern, 0, n)
+	classCounts := make(map[string]int)
+	best := 0
+	tau := m.cfg.Score.Tau
+
+	for j, scope := range u.hds.Scopes {
+		if m.cfg.Budget.Exceeded() {
+			return
+		}
+		series, err := m.eng.BasicQuery(scope)
+		if err != nil || series.Len() < 3 {
+			// Empty or degenerate sibling: not part of the HDP.
+			continue
+		}
+		temporal := tab.Dimension(scope.Breakdown).Kind == model.KindTemporal
+		se := m.evaluateScope(scope, series, temporal)
+		t, h := se.Induced(u.ptype)
+		patterns = append(patterns, core.DataPattern{Scope: scope, Type: t, Highlight: h})
+		if t == u.ptype {
+			k := h.Key()
+			classCounts[k]++
+			if classCounts[k] > best {
+				best = classCounts[k]
+			}
+		}
+		if m.cfg.EnablePruning1 {
+			remaining := n - j - 1
+			// Even if every remaining scope joined the largest class, its
+			// ratio could not exceed τ: terminate (Pruning 1). The bound
+			// uses the evaluated pattern count rather than the nominal HDS
+			// size, so scopes that turned out empty cannot cause a valid
+			// MetaInsight to be pruned.
+			if float64(best+remaining) <= tau*float64(len(patterns)+remaining) {
+				m.addStat(func(s *Stats) { s.Pruned1++ })
+				return
+			}
+		}
+	}
+	if len(patterns) < 2 {
+		return
+	}
+	hdp := &core.HDP{HDS: u.hds, Type: u.ptype, Patterns: patterns}
+	mi, ok := core.BuildMetaInsight(hdp, u.impactHDS, m.cfg.Score)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	_, exists := m.results[mi.Key()]
+	if !exists {
+		m.results[mi.Key()] = mi
+	}
+	m.mu.Unlock()
+	if !exists && m.cfg.OnMetaInsight != nil {
+		m.cfg.OnMetaInsight(mi)
+	}
+}
+
+func (m *Miner) addStat(f func(*Stats)) {
+	m.mu.Lock()
+	f(&m.stats)
+	m.mu.Unlock()
+}

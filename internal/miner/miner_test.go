@@ -1,0 +1,333 @@
+package miner
+
+import (
+	"strings"
+	"testing"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/core"
+	"metainsight/internal/dataset"
+	"metainsight/internal/engine"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+)
+
+var monthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// plantedTable builds a small house-sales table mirroring the paper's
+// running example: most cities have a sales valley in April, San Diego has
+// its valley in July (highlight-change exception), Fresno is flat
+// (type-change: Evenness holds instead) and Yuba is pure noise (no-pattern).
+func plantedTable(t testing.TB) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("houses", []model.Field{
+		{Name: "City", Kind: model.KindCategorical},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "Sales", Kind: model.KindMeasure},
+		{Name: "Profit", Kind: model.KindMeasure},
+	})
+	valley := []float64{100, 70, 40, 10, 40, 70, 100, 100, 100, 100, 100, 100}
+	julyValley := []float64{100, 100, 100, 100, 70, 40, 10, 40, 70, 100, 100, 100}
+	flat := []float64{50, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50}
+	noise := []float64{20, 80, 80, 100, 20, 90, 60, 10, 70, 10, 50, 20}
+
+	addCity := func(city string, series []float64) {
+		for m, v := range series {
+			b.AddRow([]string{city, monthNames[m]}, []float64{v, v / 10})
+		}
+	}
+	for _, city := range []string{"Los Angeles", "San Francisco", "San Jose", "Oakland", "Sacramento"} {
+		addCity(city, valley)
+	}
+	addCity("San Diego", julyValley)
+	addCity("Fresno", flat)
+	addCity("Yuba", noise)
+	return b.Build()
+}
+
+func runMiner(t testing.TB, tab *dataset.Table, mutate func(*Config, *engine.Config)) *Result {
+	t.Helper()
+	ecfg := engine.Config{}
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	if mutate != nil {
+		mutate(&cfg, &ecfg)
+	}
+	eng, err := engine.New(tab, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng, cfg).Run()
+}
+
+// findCityUnimodality returns the subspace-extended Unimodality MetaInsight
+// over City on SUM(Sales) broken down by Month, if mined.
+func findCityUnimodality(res *Result) *core.MetaInsight {
+	for _, mi := range res.MetaInsights {
+		h := mi.HDP.HDS
+		if h.Kind == model.ExtendSubspace && h.ExtDim == "City" &&
+			mi.HDP.Type == pattern.Unimodality &&
+			h.Anchor.Breakdown == "Month" &&
+			h.Anchor.Measure.Key() == "SUM(Sales)" &&
+			h.RootSubspace().Len() == 0 {
+			return mi
+		}
+	}
+	return nil
+}
+
+func TestMinerFindsPlantedMetaInsight(t *testing.T) {
+	res := runMiner(t, plantedTable(t), nil)
+	if len(res.MetaInsights) == 0 {
+		t.Fatal("no MetaInsights mined")
+	}
+	mi := findCityUnimodality(res)
+	if mi == nil {
+		t.Fatal("planted city-valley MetaInsight not found")
+	}
+	if len(mi.CommSet) != 1 {
+		t.Fatalf("CommSet size = %d", len(mi.CommSet))
+	}
+	c := mi.CommSet[0]
+	if c.Highlight.Label != "valley" || c.Highlight.Positions[0] != "Apr" {
+		t.Errorf("commonness highlight = %v", c.Highlight)
+	}
+	if len(c.Indices) != 5 {
+		t.Errorf("commonness covers %d cities, want 5", len(c.Indices))
+	}
+	cats := map[core.ExceptionCategory][]string{}
+	for _, e := range mi.Exceptions {
+		dp := mi.HDP.Patterns[e.Index]
+		city, _ := dp.Scope.Subspace.Get("City")
+		cats[e.Category] = append(cats[e.Category], city)
+	}
+	if got := cats[core.HighlightChange]; len(got) != 1 || got[0] != "San Diego" {
+		t.Errorf("highlight-change exceptions = %v", got)
+	}
+	if got := cats[core.TypeChange]; len(got) != 1 || got[0] != "Fresno" {
+		t.Errorf("type-change exceptions = %v", got)
+	}
+	if got := cats[core.NoPatternException]; len(got) != 1 || got[0] != "Yuba" {
+		t.Errorf("no-pattern exceptions = %v", got)
+	}
+	// Root is the whole dataset → impact 1; score = conciseness.
+	if mi.ImpactHDS != 1 {
+		t.Errorf("ImpactHDS = %v", mi.ImpactHDS)
+	}
+	if mi.Score <= 0 || mi.Score > 1 {
+		t.Errorf("score = %v", mi.Score)
+	}
+}
+
+func TestMinerDeterministicSingleWorker(t *testing.T) {
+	tab := plantedTable(t)
+	a := runMiner(t, tab, nil)
+	b := runMiner(t, tab, nil)
+	if len(a.MetaInsights) != len(b.MetaInsights) {
+		t.Fatalf("run sizes differ: %d vs %d", len(a.MetaInsights), len(b.MetaInsights))
+	}
+	for i := range a.MetaInsights {
+		if a.MetaInsights[i].Key() != b.MetaInsights[i].Key() {
+			t.Fatalf("ordering differs at %d", i)
+		}
+	}
+}
+
+func sameKeySets(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	ka, kb := a.Keys(), b.Keys()
+	if len(ka) != len(kb) {
+		t.Fatalf("%s: %d vs %d MetaInsights", label, len(ka), len(kb))
+	}
+	for k := range ka {
+		if !kb[k] {
+			t.Fatalf("%s: key %q missing", label, k)
+		}
+	}
+}
+
+func TestAblationsPreserveResultsUnderUnlimitedBudget(t *testing.T) {
+	tab := plantedTable(t)
+	full := runMiner(t, tab, nil)
+	noQC := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		e.QueryCache = cache.NewQueryCache(false)
+	})
+	noPC := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		c.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](false)
+	})
+	fifo := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		c.UsePriorityQueues = false
+	})
+	noP1 := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		c.EnablePruning1 = false
+	})
+	sameKeySets(t, full, noQC, "query cache off")
+	sameKeySets(t, full, noPC, "pattern cache off")
+	sameKeySets(t, full, fifo, "FIFO queue")
+	sameKeySets(t, full, noP1, "pruning 1 off")
+
+	// The optimizations change cost, not results: disabling the query cache
+	// must execute strictly more scans.
+	if noQC.Stats.ExecutedQueries <= full.Stats.ExecutedQueries {
+		t.Errorf("query cache off executed %d scans vs %d with cache",
+			noQC.Stats.ExecutedQueries, full.Stats.ExecutedQueries)
+	}
+	if full.Stats.QueryCacheStats.Hits == 0 {
+		t.Error("query cache never hit")
+	}
+	if full.Stats.PatternCacheStats.Hits == 0 {
+		t.Error("pattern cache never hit")
+	}
+}
+
+func TestPruning1OnlySkipsInvalidHDPs(t *testing.T) {
+	// With pruning 1 enabled some HDP evaluations terminate early; the
+	// result set must be unchanged (checked above), and the pruning must
+	// actually fire on this data (Yuba/Fresno-style HDPs with no majority).
+	res := runMiner(t, plantedTable(t), nil)
+	if res.Stats.Pruned1 == 0 {
+		t.Error("pruning 1 never fired on planted data")
+	}
+}
+
+func TestCostBudgetIsProgressive(t *testing.T) {
+	tab := plantedTable(t)
+	full := runMiner(t, tab, nil)
+	meter := &engine.Meter{}
+	small := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		e.Meter = meter
+		c.Budget = CostBudget{Meter: meter, Limit: 40}
+	})
+	if len(small.MetaInsights) >= len(full.MetaInsights) {
+		t.Skipf("budget too generous: %d vs %d", len(small.MetaInsights), len(full.MetaInsights))
+	}
+	// Whatever was found under the small budget must be a subset of the
+	// unlimited run's results.
+	fullKeys := full.Keys()
+	for k := range small.Keys() {
+		if !fullKeys[k] {
+			t.Errorf("budgeted run invented key %q", k)
+		}
+	}
+}
+
+func TestMultiWorkerMatchesSingleWorker(t *testing.T) {
+	tab := plantedTable(t)
+	one := runMiner(t, tab, nil)
+	eight := runMiner(t, tab, func(c *Config, e *engine.Config) { c.Workers = 8 })
+	sameKeySets(t, one, eight, "8 workers")
+}
+
+func TestMeasureExtendedMetaInsight(t *testing.T) {
+	// Sales and Profit are proportional in the planted table, so the
+	// measure-extended HDP at the whole-dataset scope shares highlights
+	// across measures (COUNT(*) differs — it is uniform).
+	res := runMiner(t, plantedTable(t), nil)
+	found := false
+	for _, mi := range res.MetaInsights {
+		if mi.HDP.HDS.Kind == model.ExtendMeasure {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no measure-extended MetaInsight mined")
+	}
+}
+
+func TestSubspaceDepthRespected(t *testing.T) {
+	res := runMiner(t, plantedTable(t), func(c *Config, e *engine.Config) {
+		c.MaxSubspaceFilters = 1
+	})
+	for _, mi := range res.MetaInsights {
+		if mi.HDP.HDS.Anchor.Subspace.Len() > 1 {
+			t.Fatalf("anchor %v exceeds depth 1", mi.HDP.HDS.Anchor.Subspace)
+		}
+	}
+}
+
+func TestResultSortedByScore(t *testing.T) {
+	res := runMiner(t, plantedTable(t), nil)
+	for i := 1; i < len(res.MetaInsights); i++ {
+		if res.MetaInsights[i].Score > res.MetaInsights[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+}
+
+func TestMinImpactPruning2(t *testing.T) {
+	res := runMiner(t, plantedTable(t), func(c *Config, e *engine.Config) {
+		c.MinImpact = 0.99 // everything except whole-dataset HDSs pruned
+	})
+	for _, mi := range res.MetaInsights {
+		if minClamp(mi.ImpactHDS) < 0.99 {
+			t.Fatalf("MetaInsight with impact %v survived pruning 2", mi.ImpactHDS)
+		}
+	}
+	if res.Stats.Pruned2 == 0 {
+		t.Error("pruning 2 never fired")
+	}
+}
+
+func TestKeysAreHDSScoped(t *testing.T) {
+	res := runMiner(t, plantedTable(t), nil)
+	for k := range res.Keys() {
+		if !strings.ContainsAny(k, "SMB") {
+			t.Fatalf("malformed key %q", k)
+		}
+	}
+}
+
+func TestPatternsFirstPreservesResults(t *testing.T) {
+	tab := plantedTable(t)
+	merged := runMiner(t, tab, nil)
+	pf := runMiner(t, tab, func(c *Config, e *engine.Config) { c.PatternsFirst = true })
+	sameKeySets(t, merged, pf, "patterns-first schedule")
+	// The merged schedule lets augmented prefetches serve the pattern
+	// module, so it never executes more scans than the module-feeding order.
+	if merged.Stats.ExecutedQueries > pf.Stats.ExecutedQueries {
+		t.Errorf("merged schedule executed %d scans vs %d under patterns-first",
+			merged.Stats.ExecutedQueries, pf.Stats.ExecutedQueries)
+	}
+}
+
+func TestImpactMeasureChoiceHasModestEffect(t *testing.T) {
+	// Section 5.1.1: the paper sets COUNT(*) as the impact measure "for
+	// simplicity" and notes the choice has a negligible effect on
+	// efficiency. Mining with SUM(Sales) as the impact measure must find the
+	// planted MetaInsight too, at comparable query cost.
+	tab := plantedTable(t)
+	count := runMiner(t, tab, nil)
+	sum := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		e.ImpactMeasure = model.Sum("Sales")
+	})
+	if findCityUnimodality(count) == nil || findCityUnimodality(sum) == nil {
+		t.Fatal("planted MetaInsight lost under an impact-measure change")
+	}
+	ratio := float64(sum.Stats.ExecutedQueries) / float64(count.Stats.ExecutedQueries)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("impact-measure choice changed query count by %.1fx", ratio)
+	}
+}
+
+func TestBudgetPrefixMonotonicity(t *testing.T) {
+	// With one worker and deterministic cost budgets, a larger budget's
+	// result set is a superset of a smaller budget's: results are only ever
+	// appended as the run progresses.
+	tab := plantedTable(t)
+	var prev map[string]bool
+	for _, limit := range []float64{20, 40, 80, 160, 1e9} {
+		meter := &engine.Meter{}
+		res := runMiner(t, tab, func(c *Config, e *engine.Config) {
+			e.Meter = meter
+			c.Budget = CostBudget{Meter: meter, Limit: limit}
+		})
+		keys := res.Keys()
+		for k := range prev {
+			if !keys[k] {
+				t.Fatalf("budget %.0f lost key %q found at a smaller budget", limit, k)
+			}
+		}
+		prev = keys
+	}
+}

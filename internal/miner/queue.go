@@ -1,0 +1,135 @@
+package miner
+
+import (
+	"container/heap"
+
+	"metainsight/internal/core"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+)
+
+// unitKind distinguishes the three kinds of compute units flowing through
+// the mining procedure.
+type unitKind int
+
+const (
+	// kindExpand explores one subspace: it emits the subspace's data-pattern
+	// compute units and its child subspaces (the search functionality of
+	// Figure 3).
+	kindExpand unitKind = iota
+	// kindDataPattern evaluates all measures and pattern types on one
+	// (subspace, breakdown) pair — the data pattern mining module.
+	kindDataPattern
+	// kindMetaInsight evaluates one HDP for a MetaInsight — the MetaInsight
+	// mining module.
+	kindMetaInsight
+)
+
+// workUnit is a compute unit. Exactly the fields for its kind are set.
+type workUnit struct {
+	kind     unitKind
+	priority float64 // impact-based priority (higher first)
+	seq      int64   // emission order; tie-breaker and FIFO order
+
+	// kindExpand / kindDataPattern
+	subspace model.Subspace
+	impact   float64 // Impact of subspace (Equation 2)
+	// kindExpand
+	maxDimIdx int // last dimension index already filtered; children add beyond it
+	// kindDataPattern
+	breakdown string
+
+	// kindMetaInsight
+	hds       core.HDS
+	ptype     pattern.Type
+	impactHDS float64
+}
+
+// workQueue abstracts the compute-unit queue so the paper's priority-queue
+// vs FIFO-queue ablation (Figure 6) is a one-flag swap.
+type workQueue interface {
+	Push(u *workUnit)
+	Pop() *workUnit
+	Peek() *workUnit
+	Len() int
+}
+
+// priorityQueue orders units by priority descending, breaking ties by
+// emission order, using container/heap.
+type priorityQueue struct {
+	items unitHeap
+}
+
+func newPriorityQueue() *priorityQueue { return &priorityQueue{} }
+
+func (q *priorityQueue) Push(u *workUnit) { heap.Push(&q.items, u) }
+
+func (q *priorityQueue) Pop() *workUnit {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(*workUnit)
+}
+
+func (q *priorityQueue) Peek() *workUnit {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *priorityQueue) Len() int { return len(q.items) }
+
+type unitHeap []*workUnit
+
+func (h unitHeap) Len() int { return len(h) }
+func (h unitHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h unitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *unitHeap) Push(x any)   { *h = append(*h, x.(*workUnit)) }
+func (h *unitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return u
+}
+
+// fifoQueue is the baseline first-in-first-out queue used by the ablation.
+// It is implemented as a ring over a growable slice.
+type fifoQueue struct {
+	items []*workUnit
+	head  int
+}
+
+func newFIFOQueue() *fifoQueue { return &fifoQueue{} }
+
+func (q *fifoQueue) Push(u *workUnit) { q.items = append(q.items, u) }
+
+func (q *fifoQueue) Pop() *workUnit {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	u := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.items) {
+		q.items = append([]*workUnit(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return u
+}
+
+func (q *fifoQueue) Peek() *workUnit {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+func (q *fifoQueue) Len() int { return len(q.items) - q.head }

@@ -1,0 +1,99 @@
+package miner
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPriorityQueueOrdersByImpactThenSeq(t *testing.T) {
+	q := newPriorityQueue()
+	q.Push(&workUnit{priority: 0.5, seq: 1})
+	q.Push(&workUnit{priority: 0.9, seq: 2})
+	q.Push(&workUnit{priority: 0.9, seq: 3})
+	q.Push(&workUnit{priority: 0.1, seq: 4})
+	wantSeq := []int64{2, 3, 1, 4}
+	for i, want := range wantSeq {
+		u := q.Pop()
+		if u == nil || u.seq != want {
+			t.Fatalf("pop %d: got %+v, want seq %d", i, u, want)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("empty queue should pop nil")
+	}
+}
+
+func TestPriorityQueuePeekDoesNotRemove(t *testing.T) {
+	q := newPriorityQueue()
+	q.Push(&workUnit{priority: 1, seq: 1})
+	if q.Peek() == nil || q.Len() != 1 {
+		t.Fatal("peek removed the element")
+	}
+	if q.Pop() == nil || q.Len() != 0 {
+		t.Fatal("pop after peek broken")
+	}
+	if q.Peek() != nil {
+		t.Error("peek on empty queue should be nil")
+	}
+}
+
+func TestPriorityQueueRandomizedHeapProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	q := newPriorityQueue()
+	n := 500
+	for i := 0; i < n; i++ {
+		q.Push(&workUnit{priority: r.Float64(), seq: int64(i)})
+	}
+	prev := 2.0
+	for i := 0; i < n; i++ {
+		u := q.Pop()
+		if u.priority > prev {
+			t.Fatalf("heap order violated: %v after %v", u.priority, prev)
+		}
+		prev = u.priority
+	}
+}
+
+func TestFIFOQueueOrder(t *testing.T) {
+	q := newFIFOQueue()
+	for i := int64(0); i < 5; i++ {
+		q.Push(&workUnit{priority: float64(5 - i), seq: i})
+	}
+	for i := int64(0); i < 5; i++ {
+		u := q.Pop()
+		if u == nil || u.seq != i {
+			t.Fatalf("FIFO pop %d returned seq %v", i, u)
+		}
+	}
+	if q.Len() != 0 || q.Pop() != nil || q.Peek() != nil {
+		t.Error("drained FIFO misbehaves")
+	}
+}
+
+func TestFIFOQueueCompaction(t *testing.T) {
+	q := newFIFOQueue()
+	// Interleave pushes and pops far past the compaction threshold.
+	next := int64(0)
+	popped := int64(0)
+	for round := 0; round < 5000; round++ {
+		q.Push(&workUnit{seq: next})
+		next++
+		if round%2 == 1 {
+			u := q.Pop()
+			if u.seq != popped {
+				t.Fatalf("order broken after compaction: got %d, want %d", u.seq, popped)
+			}
+			popped++
+		}
+	}
+	for q.Len() > 0 {
+		u := q.Pop()
+		if u.seq != popped {
+			t.Fatalf("drain order broken: got %d, want %d", u.seq, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Fatalf("lost units: popped %d of %d", popped, next)
+	}
+}

@@ -1,0 +1,211 @@
+// Package pattern implements the paper's basic data patterns (Section 3.1,
+// Table 1, Appendix 9.1): eleven pattern types, each with an evaluation
+// criterion Evaluate(ds, type) and a type-dependent highlight encoding the
+// essential characteristics of the raw data distribution. The package is
+// pattern-type agnostic in the paper's sense: evaluators operate on a plain
+// (keys, values) series plus a temporal flag, so domain-specific types can be
+// added without touching the mining machinery.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates the supported basic data pattern types plus the two
+// placeholder outcomes of the type-induced generative function dp(ds, type).
+type Type int
+
+const (
+	// OutstandingFirst: one subspace has a noticeably higher aggregate than
+	// all others. Highlight: that subspace.
+	OutstandingFirst Type = iota
+	// OutstandingLast: one subspace is noticeably lower than all others.
+	OutstandingLast
+	// OutstandingTop2: two subspaces are noticeably higher than the rest.
+	OutstandingTop2
+	// OutstandingLast2: two subspaces are noticeably lower than the rest.
+	OutstandingLast2
+	// Evenness: all subspaces are distributed evenly.
+	Evenness
+	// Attribution: one subspace's aggregate dominates (accounts for the
+	// majority of) the total. Highlight: that subspace.
+	Attribution
+	// Trend: a temporal series trends upward or downward. Highlight: the
+	// direction.
+	Trend
+	// Outlier: a temporal series has 3-sigma outliers against a
+	// non-parametric regression baseline. Highlight: outlier positions and
+	// whether they lie above or below the baseline.
+	Outlier
+	// Seasonality: a temporal series repeats with a fixed period.
+	// Highlight: the period length.
+	Seasonality
+	// ChangePoint: the mean of a temporal series shifts significantly at
+	// one position. Highlight: that position.
+	ChangePoint
+	// Unimodality: a temporal series forms a U-shaped valley or peak.
+	// Highlight: the extremum position and peak/valley indication.
+	Unimodality
+
+	// NumTypes is the number of built-in pattern types (11 in the paper).
+	// Custom domain-specific types registered through Config.Custom are
+	// assigned Type values starting at NumTypes (see CustomType).
+	NumTypes
+)
+
+const (
+	// OtherPattern is the dp(ds, type) placeholder when the requested type
+	// does not hold but some other type does (Section 3.1, case 2).
+	OtherPattern Type = -1 - iota
+	// NoPattern is the placeholder when no type holds (case 3).
+	NoPattern
+)
+
+// CustomType returns the Type value of the i-th custom evaluator in a
+// Config's Custom slice.
+func CustomType(i int) Type { return NumTypes + Type(i) }
+
+var typeNames = [...]string{
+	OutstandingFirst: "Outstanding #1",
+	OutstandingLast:  "Outstanding #Last",
+	OutstandingTop2:  "Outstanding Top-2",
+	OutstandingLast2: "Outstanding Last-2",
+	Evenness:         "Evenness",
+	Attribution:      "Attribution",
+	Trend:            "Trend",
+	Outlier:          "Outlier",
+	Seasonality:      "Seasonality",
+	ChangePoint:      "Change Point",
+	Unimodality:      "Unimodality",
+}
+
+// String returns the display name of the pattern type. Custom types render
+// as "Custom(i)" — Config.TypeName resolves their registered names.
+func (t Type) String() string {
+	switch {
+	case t >= 0 && t < NumTypes:
+		return typeNames[t]
+	case t >= NumTypes:
+		return fmt.Sprintf("Custom(%d)", int(t-NumTypes))
+	case t == OtherPattern:
+		return "Other Pattern"
+	case t == NoPattern:
+		return "No Pattern"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Concrete reports whether t is a real pattern type — built-in or custom —
+// as opposed to the OtherPattern/NoPattern placeholders.
+func (t Type) Concrete() bool { return t >= 0 }
+
+// Builtin reports whether t is one of the paper's eleven types.
+func (t Type) Builtin() bool { return t >= 0 && t < NumTypes }
+
+// TemporalOnly reports whether the built-in type's evaluation criterion
+// requires a temporal breakdown (the time-series perspectives of Table 1).
+// For custom types, consult the CustomEvaluator's TemporalOnly field.
+func (t Type) TemporalOnly() bool {
+	switch t {
+	case Trend, Outlier, Seasonality, ChangePoint, Unimodality:
+		return true
+	default:
+		return false
+	}
+}
+
+// Types returns the eleven built-in pattern types in canonical order.
+func Types() []Type {
+	out := make([]Type, NumTypes)
+	for i := range out {
+		out[i] = Type(i)
+	}
+	return out
+}
+
+// Highlight encodes the essential, type-dependent characteristics extracted
+// by a successful evaluation (Definition 3.1). Two data patterns within an
+// HDP are similar iff they share both type and highlight (Equation 8), so
+// Highlight equality — via Key — defines the Sim equivalence relation.
+type Highlight struct {
+	// Positions are the breakdown values the pattern points at: the
+	// outstanding subspace(s), the outlier positions, the unimodal extremum,
+	// the change point. Order is canonical (as produced by the evaluator).
+	Positions []string
+	// Label qualifies the pattern: "increasing"/"decreasing" for Trend,
+	// "peak"/"valley" for Unimodality, "above"/"below" for Outlier,
+	// "period=N" for Seasonality. Empty when the type needs no qualifier.
+	Label string
+}
+
+// Key returns the canonical identity of the highlight used by Sim.
+func (h Highlight) Key() string {
+	return h.Label + "@" + strings.Join(h.Positions, ",")
+}
+
+// String renders the highlight for display.
+func (h Highlight) String() string {
+	switch {
+	case len(h.Positions) == 0 && h.Label == "":
+		return "(none)"
+	case len(h.Positions) == 0:
+		return h.Label
+	case h.Label == "":
+		return strings.Join(h.Positions, ", ")
+	default:
+		return h.Label + ": " + strings.Join(h.Positions, ", ")
+	}
+}
+
+// Evaluation is the outcome of Evaluate(ds, type) for one concrete type.
+type Evaluation struct {
+	// Valid is the boolean result of the evaluation criterion.
+	Valid bool
+	// Highlight is set when Valid.
+	Highlight Highlight
+	// Strength grades how strongly the criterion held, in [0, 1]
+	// (1 - p-value where a test produces one). It is informational — the
+	// MetaInsight score does not depend on it — but the QuickInsight
+	// baseline ranks by it.
+	Strength float64
+}
+
+// ScopeEvaluation is the full evaluation of one data scope across every
+// concrete type — the eleven built-ins followed by any custom types of the
+// Config, indexed by Type. It is the pattern cache's value type: evaluating
+// dp(ds, t) requires knowing whether any other type holds, so all types are
+// evaluated together and memoized as one entry.
+type ScopeEvaluation struct {
+	Evals    []Evaluation
+	AnyValid bool
+}
+
+// Induced applies the paper's type-induced generative function dp(ds, type):
+// it returns (type, highlight) if type holds; (OtherPattern, zero) if some
+// other type holds; (NoPattern, zero) otherwise.
+func (se *ScopeEvaluation) Induced(t Type) (Type, Highlight) {
+	if !t.Concrete() || int(t) >= len(se.Evals) {
+		panic(fmt.Sprintf("pattern: Induced called with invalid type %v", t))
+	}
+	if se.Evals[t].Valid {
+		return t, se.Evals[t].Highlight
+	}
+	if se.AnyValid {
+		return OtherPattern, Highlight{}
+	}
+	return NoPattern, Highlight{}
+}
+
+// ValidTypes returns the concrete types (built-in and custom) that hold for
+// the scope.
+func (se *ScopeEvaluation) ValidTypes() []Type {
+	var out []Type
+	for t := Type(0); int(t) < len(se.Evals); t++ {
+		if se.Evals[t].Valid {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package quickinsight reimplements the QuickInsights baseline (Ding et al.,
+// SIGMOD 2019) that MetaInsight extends and is evaluated against: each
+// insight is a stand-alone 4-tuple (subspace, breakdown, measure, type) with
+// no structured organization across sibling scopes. The implementation
+// shares MetaInsight's pattern evaluators and query engine so that the
+// Figure 7 query-count comparison isolates exactly the cost the HDP layer
+// adds, and the user study comparison presents both systems from the same
+// substrate.
+package quickinsight
+
+import (
+	"sort"
+
+	"metainsight/internal/engine"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+)
+
+// Insight is QuickInsight's 4-tuple result (plus the highlight our basic
+// data patterns carry, which QuickInsights folds into the type semantics).
+type Insight struct {
+	Scope     model.DataScope
+	Type      pattern.Type
+	Highlight pattern.Highlight
+	// Significance grades the pattern evaluation (1 − p-value style).
+	Significance float64
+	// Impact is the subspace's impact (Equation 2).
+	Impact float64
+	// Score ranks insights: impact × significance, QuickInsights' scoring
+	// shape.
+	Score float64
+}
+
+// Config configures a QuickInsight mining run. Zero values take the same
+// defaults as the MetaInsight miner so comparisons are like-for-like.
+type Config struct {
+	Pattern                 pattern.Config
+	MaxSubspaceFilters      int
+	MaxBreakdownCardinality int
+	MinSubspaceImpact       float64
+	Budget                  engine.Budget
+}
+
+func (c *Config) fillDefaults() {
+	if c.Pattern.Alpha == 0 {
+		custom := c.Pattern.Custom
+		c.Pattern = pattern.DefaultConfig()
+		c.Pattern.Custom = custom
+	}
+	if c.MaxSubspaceFilters == 0 {
+		c.MaxSubspaceFilters = 3
+	}
+	if c.MaxBreakdownCardinality == 0 {
+		c.MaxBreakdownCardinality = 50
+	}
+	if c.MinSubspaceImpact == 0 {
+		c.MinSubspaceImpact = 0.005
+	}
+	if c.Budget == nil {
+		c.Budget = engine.Unlimited{}
+	}
+}
+
+// Result is the outcome of a QuickInsight run.
+type Result struct {
+	Insights        []*Insight
+	ExecutedQueries int64
+	CostUsed        float64
+}
+
+// TopK returns the k highest-scoring insights.
+func (r *Result) TopK(k int) []*Insight {
+	if k > len(r.Insights) {
+		k = len(r.Insights)
+	}
+	return r.Insights[:k]
+}
+
+// Mine enumerates data scopes impact-first (the same best-first frontier the
+// MetaInsight miner uses) and evaluates every pattern type on each scope.
+// Unlike MetaInsight it stops there: no HDS extension, no HDP evaluation.
+func Mine(eng *engine.Engine, cfg Config) *Result {
+	cfg.fillDefaults()
+	tab := eng.Table()
+	startExec := eng.Meter().ExecutedQueries()
+	startCost := eng.Meter().Cost()
+
+	type frontierItem struct {
+		subspace  model.Subspace
+		impact    float64
+		maxDimIdx int
+	}
+	queue := []frontierItem{{subspace: model.EmptySubspace, impact: 1, maxDimIdx: -1}}
+	var insights []*Insight
+
+	for len(queue) > 0 {
+		if cfg.Budget.Exceeded() {
+			break
+		}
+		// Pop the highest-impact frontier item (linear scan: the frontier
+		// here is small relative to query cost, and determinism matters).
+		best := 0
+		for i, it := range queue {
+			if it.impact > queue[best].impact {
+				best = i
+			}
+		}
+		item := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+
+		for _, dim := range tab.DimensionNames() {
+			if cfg.Budget.Exceeded() {
+				break
+			}
+			col := tab.Dimension(dim)
+			if item.subspace.Has(dim) || col.Cardinality() < 3 ||
+				col.Cardinality() > cfg.MaxBreakdownCardinality {
+				continue
+			}
+			temporal := col.Kind == model.KindTemporal
+			unit, err := eng.Unit(item.subspace, dim)
+			if err != nil {
+				continue
+			}
+			for _, meas := range eng.Measures() {
+				ds := model.DataScope{Subspace: item.subspace, Breakdown: dim, Measure: meas}
+				series, err := engine.Extract(unit, ds)
+				if err != nil || series.Len() < 3 {
+					continue
+				}
+				se := pattern.EvaluateAllScoped(ds, series.Keys, series.Values, temporal, cfg.Pattern)
+				eng.ChargeEvaluation()
+				for _, t := range se.ValidTypes() {
+					ev := se.Evals[t]
+					insights = append(insights, &Insight{
+						Scope:        ds,
+						Type:         t,
+						Highlight:    ev.Highlight,
+						Significance: ev.Strength,
+						Impact:       item.impact,
+						Score:        item.impact * ev.Strength,
+					})
+				}
+			}
+		}
+
+		if item.subspace.Len() >= cfg.MaxSubspaceFilters {
+			continue
+		}
+		dims := tab.Dimensions()
+		for idx := item.maxDimIdx + 1; idx < len(dims); idx++ {
+			if cfg.Budget.Exceeded() {
+				break
+			}
+			dim := dims[idx]
+			if item.subspace.Has(dim.Name) || dim.Cardinality() > cfg.MaxBreakdownCardinality {
+				continue
+			}
+			unit, err := eng.Unit(item.subspace, dim.Name)
+			if err != nil {
+				continue
+			}
+			im := eng.ImpactMeasure()
+			src := unit.Counts
+			if im.Agg != model.AggCount {
+				src = unit.Sums[im.Column]
+			}
+			for gi, v := range unit.GroupKeys {
+				imp := src[gi] / eng.TotalImpact()
+				if imp < cfg.MinSubspaceImpact {
+					continue
+				}
+				queue = append(queue, frontierItem{
+					subspace:  item.subspace.With(dim.Name, v),
+					impact:    imp,
+					maxDimIdx: idx,
+				})
+			}
+		}
+	}
+
+	sort.Slice(insights, func(i, j int) bool {
+		if insights[i].Score != insights[j].Score {
+			return insights[i].Score > insights[j].Score
+		}
+		ki := insights[i].Scope.Key() + insights[i].Type.String()
+		kj := insights[j].Scope.Key() + insights[j].Type.String()
+		return ki < kj
+	})
+	return &Result{
+		Insights:        insights,
+		ExecutedQueries: eng.Meter().ExecutedQueries() - startExec,
+		CostUsed:        eng.Meter().Cost() - startCost,
+	}
+}

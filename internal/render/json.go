@@ -1,0 +1,84 @@
+package render
+
+import (
+	"metainsight/internal/core"
+	"metainsight/internal/model"
+)
+
+// JSONInsight is the serializable view of a MetaInsight, for exporting mined
+// results to downstream tools (dashboards, notebooks, BI integrations).
+type JSONInsight struct {
+	Key         string  `json:"key"`
+	Type        string  `json:"type"`
+	Extension   string  `json:"extension"`
+	Root        string  `json:"root"`
+	Breakdown   string  `json:"breakdown"`
+	Measure     string  `json:"measure"`
+	Score       float64 `json:"score"`
+	Impact      float64 `json:"impact"`
+	Conciseness float64 `json:"conciseness"`
+	Entropy     float64 `json:"entropy"`
+	Description string  `json:"description"`
+
+	Commonnesses []JSONCommonness `json:"commonnesses"`
+	Exceptions   []JSONException  `json:"exceptions,omitempty"`
+}
+
+// JSONCommonness is one commonness of the insight.
+type JSONCommonness struct {
+	Highlight string   `json:"highlight"`
+	Ratio     float64  `json:"ratio"`
+	Members   []string `json:"members"`
+}
+
+// JSONException is one exceptional scope with its category.
+type JSONException struct {
+	Member    string `json:"member"`
+	Category  string `json:"category"`
+	Type      string `json:"type"`
+	Highlight string `json:"highlight,omitempty"`
+	Scope     string `json:"scope"`
+}
+
+// ToJSON converts a MetaInsight into its serializable view. namer resolves
+// custom pattern-type names (nil uses the built-in names).
+func ToJSON(mi *core.MetaInsight, namer TypeNamer) JSONInsight {
+	h := mi.HDP.HDS
+	out := JSONInsight{
+		Key:         mi.Key(),
+		Type:        nameOf(namer, mi.HDP.Type),
+		Extension:   h.Kind.String(),
+		Root:        h.RootSubspace().String(),
+		Breakdown:   h.Anchor.Breakdown,
+		Measure:     h.Anchor.Measure.String(),
+		Score:       mi.Score,
+		Impact:      mi.ImpactHDS,
+		Conciseness: mi.Conciseness,
+		Entropy:     mi.Entropy,
+		Description: DescribeMetaInsightNamed(mi, namer),
+	}
+	if h.Kind == model.ExtendMeasure {
+		out.Measure = "(all measures)"
+	}
+	for _, c := range mi.CommSet {
+		jc := JSONCommonness{Highlight: c.Highlight.String(), Ratio: c.Ratio}
+		for _, idx := range c.Indices {
+			jc.Members = append(jc.Members, memberName(h, mi.HDP.Patterns[idx]))
+		}
+		out.Commonnesses = append(out.Commonnesses, jc)
+	}
+	for _, e := range mi.Exceptions {
+		dp := mi.HDP.Patterns[e.Index]
+		je := JSONException{
+			Member:   memberName(h, dp),
+			Category: e.Category.String(),
+			Type:     nameOf(namer, dp.Type),
+			Scope:    dp.Scope.String(),
+		}
+		if dp.Type.Concrete() {
+			je.Highlight = dp.Highlight.String()
+		}
+		out.Exceptions = append(out.Exceptions, je)
+	}
+	return out
+}

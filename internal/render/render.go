@@ -1,0 +1,349 @@
+// Package render produces the textual presentation of basic data patterns,
+// QuickInsight-style stand-alone insights and MetaInsights, following the
+// description conventions of the paper's Appendix 9.1 and the Flat-List
+// Representation (FLR) used as the reference in the non-expert user study
+// (Section 5.2.1): an FLR unfolds all the data patterns within an HDP and
+// presents each separately.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"metainsight/internal/core"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+)
+
+// subjectOf renders a data scope's subspace for prose: "{*}" becomes
+// "the whole dataset", otherwise the paper's brace notation.
+func subjectOf(s model.Subspace) string {
+	if s.Len() == 0 {
+		return "the whole dataset"
+	}
+	return s.String()
+}
+
+// TypeNamer resolves a pattern type's display name; pattern.Config.TypeName
+// supplies one that knows about custom types. A nil namer falls back to
+// Type.String.
+type TypeNamer func(pattern.Type) string
+
+func nameOf(namer TypeNamer, t pattern.Type) string {
+	if namer != nil {
+		return namer(t)
+	}
+	return t.String()
+}
+
+// DescribePattern renders one basic data pattern in the style of the
+// Appendix 9.1 examples ("For San Diego, April has the minimum Sales.").
+func DescribePattern(dp core.DataPattern) string {
+	return DescribePatternNamed(dp, nil)
+}
+
+// DescribePatternNamed is DescribePattern with a custom-type namer.
+func DescribePatternNamed(dp core.DataPattern, namer TypeNamer) string {
+	ds := dp.Scope
+	subject := subjectOf(ds.Subspace)
+	measure := ds.Measure.String()
+	breakdown := ds.Breakdown
+	h := dp.Highlight
+	switch dp.Type {
+	case pattern.OutstandingFirst:
+		return fmt.Sprintf("For %s, %s: %s has noticeably higher %s across all %s.",
+			subject, breakdown, pos(h, 0), measure, plural(breakdown))
+	case pattern.OutstandingLast:
+		return fmt.Sprintf("For %s, %s: %s has noticeably lower %s across all %s.",
+			subject, breakdown, pos(h, 0), measure, plural(breakdown))
+	case pattern.OutstandingTop2:
+		return fmt.Sprintf("For %s, %s and %s have noticeably higher %s across all %s.",
+			subject, pos(h, 0), pos(h, 1), measure, plural(breakdown))
+	case pattern.OutstandingLast2:
+		return fmt.Sprintf("For %s, %s and %s have noticeably lower %s across all %s.",
+			subject, pos(h, 0), pos(h, 1), measure, plural(breakdown))
+	case pattern.Evenness:
+		return fmt.Sprintf("For %s, the %s of all %s are relatively even.",
+			subject, measure, plural(breakdown))
+	case pattern.Attribution:
+		return fmt.Sprintf("For %s, %s: %s accounts for the majority of %s.",
+			subject, breakdown, pos(h, 0), measure)
+	case pattern.Trend:
+		return fmt.Sprintf("For %s, %s is trending %s over %s.",
+			subject, measure, trendWord(h.Label), plural(breakdown))
+	case pattern.Outlier:
+		return fmt.Sprintf("For %s, %s has outlier(s) %s the baseline at %s: %s.",
+			subject, measure, aboveBelow(h.Label), breakdown, strings.Join(h.Positions, ", "))
+	case pattern.Seasonality:
+		return fmt.Sprintf("For %s, %s shows a repeating pattern over %s (%s).",
+			subject, measure, plural(breakdown), h.Label)
+	case pattern.ChangePoint:
+		return fmt.Sprintf("For %s, %s changed significantly from %s: %s.",
+			subject, measure, breakdown, pos(h, 0))
+	case pattern.Unimodality:
+		extremum := "minimum"
+		if h.Label == "peak" {
+			extremum = "maximum"
+		}
+		return fmt.Sprintf("For %s, %s: %s has the %s %s.",
+			subject, breakdown, pos(h, 0), extremum, measure)
+	case pattern.OtherPattern:
+		return fmt.Sprintf("For %s, %s exhibits a different pattern over %s.",
+			subject, measure, plural(breakdown))
+	case pattern.NoPattern:
+		return fmt.Sprintf("For %s, %s does not exhibit any particular pattern over %s.",
+			subject, measure, plural(breakdown))
+	default:
+		// Custom domain-specific types: name plus highlight.
+		return fmt.Sprintf("For %s, %s over %s shows %s (%s).",
+			subject, measure, plural(breakdown), nameOf(namer, dp.Type), h)
+	}
+}
+
+func pos(h pattern.Highlight, i int) string {
+	if i < len(h.Positions) {
+		return h.Positions[i]
+	}
+	return "?"
+}
+
+func plural(word string) string {
+	switch {
+	case strings.ContainsRune(word, ' '):
+		// Phrase-like dimension names (e.g. survey questions) read as
+		// quoted group labels rather than pluralized nouns.
+		return "\"" + word + "\" groups"
+	case strings.HasSuffix(word, "s"):
+		return word
+	case len(word) > 1 && strings.HasSuffix(word, "y") && !strings.ContainsAny(word[len(word)-2:len(word)-1], "aeiou"):
+		return word[:len(word)-1] + "ies"
+	default:
+		return word + "s"
+	}
+}
+
+func trendWord(label string) string {
+	if label == "decreasing" {
+		return "downwards"
+	}
+	return "upwards"
+}
+
+func aboveBelow(label string) string {
+	switch label {
+	case "below":
+		return "below"
+	case "mixed":
+		return "above and below"
+	default:
+		return "above"
+	}
+}
+
+// memberName identifies one pattern of an HDP by what varies across the HDS:
+// the sibling value for subspace extension, the measure for measure
+// extension, the breakdown for breakdown extension.
+func memberName(h core.HDS, dp core.DataPattern) string {
+	switch h.Kind {
+	case model.ExtendSubspace:
+		if v, ok := dp.Scope.Subspace.Get(h.ExtDim); ok {
+			return v
+		}
+		return dp.Scope.Subspace.String()
+	case model.ExtendMeasure:
+		return dp.Scope.Measure.String()
+	case model.ExtendBreakdown:
+		return "by " + dp.Scope.Breakdown
+	default:
+		return dp.Scope.String()
+	}
+}
+
+// varyingNoun names the population the commonness generalizes over.
+func varyingNoun(h core.HDS) string {
+	switch h.Kind {
+	case model.ExtendSubspace:
+		return plural(h.ExtDim)
+	case model.ExtendMeasure:
+		return "measures"
+	case model.ExtendBreakdown:
+		return "time granularities"
+	default:
+		return "scopes"
+	}
+}
+
+// describeHighlight summarizes a commonness's shared characteristic. For
+// measure-extended HDPs the measure varies across the commonness, so the
+// phrasing generalizes over measures instead of naming one.
+func describeHighlight(t pattern.Type, h pattern.Highlight, anchor model.DataScope, kind model.ExtensionKind, namer TypeNamer) string {
+	breakdown := anchor.Breakdown
+	if kind == model.ExtendMeasure {
+		// The commonness generalizes over measures ("For most measures, …"),
+		// so the characteristic is phrased against generic values.
+		switch t {
+		case pattern.OutstandingFirst:
+			return fmt.Sprintf("%s: %s has a noticeably higher value", breakdown, pos(h, 0))
+		case pattern.OutstandingLast:
+			return fmt.Sprintf("%s: %s has a noticeably lower value", breakdown, pos(h, 0))
+		case pattern.OutstandingTop2:
+			return fmt.Sprintf("%s and %s have noticeably higher values", pos(h, 0), pos(h, 1))
+		case pattern.OutstandingLast2:
+			return fmt.Sprintf("%s and %s have noticeably lower values", pos(h, 0), pos(h, 1))
+		case pattern.Evenness:
+			return fmt.Sprintf("values are distributed evenly across %s", plural(breakdown))
+		case pattern.Attribution:
+			return fmt.Sprintf("%s: %s accounts for the majority of the total", breakdown, pos(h, 0))
+		case pattern.Trend:
+			return fmt.Sprintf("values are trending %s over %s", trendWord(h.Label), plural(breakdown))
+		case pattern.Outlier:
+			return fmt.Sprintf("values have outlier(s) at %s", strings.Join(h.Positions, ", "))
+		case pattern.Seasonality:
+			return fmt.Sprintf("values repeat over %s (%s)", plural(breakdown), h.Label)
+		case pattern.ChangePoint:
+			return fmt.Sprintf("values change significantly at %s: %s", breakdown, pos(h, 0))
+		case pattern.Unimodality:
+			extremum := "lowest"
+			if h.Label == "peak" {
+				extremum = "highest"
+			}
+			return fmt.Sprintf("%s: %s has the %s value", breakdown, pos(h, 0), extremum)
+		default:
+			return fmt.Sprintf("values show %s (%s)", nameOf(namer, t), h)
+		}
+	}
+	measure := anchor.Measure.String()
+	switch t {
+	case pattern.OutstandingFirst:
+		return fmt.Sprintf("%s: %s has noticeably higher %s", breakdown, pos(h, 0), measure)
+	case pattern.OutstandingLast:
+		return fmt.Sprintf("%s: %s has noticeably lower %s", breakdown, pos(h, 0), measure)
+	case pattern.OutstandingTop2:
+		return fmt.Sprintf("%s and %s have noticeably higher %s", pos(h, 0), pos(h, 1), measure)
+	case pattern.OutstandingLast2:
+		return fmt.Sprintf("%s and %s have noticeably lower %s", pos(h, 0), pos(h, 1), measure)
+	case pattern.Evenness:
+		return fmt.Sprintf("%s is distributed evenly across %s", measure, plural(breakdown))
+	case pattern.Attribution:
+		return fmt.Sprintf("%s: %s accounts for the majority of %s", breakdown, pos(h, 0), measure)
+	case pattern.Trend:
+		return fmt.Sprintf("%s is trending %s over %s", measure, trendWord(h.Label), plural(breakdown))
+	case pattern.Outlier:
+		return fmt.Sprintf("%s has outlier(s) at %s", measure, strings.Join(h.Positions, ", "))
+	case pattern.Seasonality:
+		return fmt.Sprintf("%s repeats over %s (%s)", measure, plural(breakdown), h.Label)
+	case pattern.ChangePoint:
+		return fmt.Sprintf("%s changes significantly at %s: %s", measure, breakdown, pos(h, 0))
+	case pattern.Unimodality:
+		extremum := "lowest"
+		if h.Label == "peak" {
+			extremum = "highest"
+		}
+		return fmt.Sprintf("%s: %s has the %s %s", breakdown, pos(h, 0), extremum, measure)
+	default:
+		return fmt.Sprintf("%s shows %s (%s)", measure, nameOf(namer, t), h)
+	}
+}
+
+// DescribeMetaInsight renders a MetaInsight in the paper's narrative form:
+// "For most Cities in {root}, Month: Apr has the lowest SUM(Sales) (5/8),
+// except San Diego, where ... ; Fresno, where Sales are distributed evenly;
+// Riverside, where Sales do not exhibit any particular pattern."
+func DescribeMetaInsight(mi *core.MetaInsight) string {
+	return DescribeMetaInsightNamed(mi, nil)
+}
+
+// DescribeMetaInsightNamed is DescribeMetaInsight with a custom-type namer.
+func DescribeMetaInsightNamed(mi *core.MetaInsight, namer TypeNamer) string {
+	h := mi.HDP.HDS
+	anchor := h.Anchor
+	var b strings.Builder
+
+	scopeSuffix := ""
+	if root := h.RootSubspace(); root.Len() > 0 {
+		scopeSuffix = " in " + root.String()
+	}
+
+	for ci, c := range mi.CommSet {
+		if ci > 0 {
+			b.WriteString(" Meanwhile, for ")
+		} else {
+			qualifier := "most"
+			if len(mi.CommSet) > 1 {
+				qualifier = "many"
+			}
+			fmt.Fprintf(&b, "For %s %s%s, ", qualifier, varyingNoun(h), scopeSuffix)
+		}
+		fmt.Fprintf(&b, "%s (%d/%d)",
+			describeHighlight(mi.HDP.Type, c.Highlight, anchor, h.Kind, namer),
+			len(c.Indices), len(mi.HDP.Patterns))
+		if ci == len(mi.CommSet)-1 && len(mi.Exceptions) == 0 {
+			b.WriteString(".")
+		}
+	}
+
+	if len(mi.Exceptions) > 0 {
+		b.WriteString(", except ")
+		parts := make([]string, 0, len(mi.Exceptions))
+		for _, e := range mi.Exceptions {
+			dp := mi.HDP.Patterns[e.Index]
+			name := memberName(h, dp)
+			switch e.Category {
+			case core.HighlightChange:
+				parts = append(parts, fmt.Sprintf("%s, where %s",
+					name, describeHighlight(mi.HDP.Type, dp.Highlight, dp.Scope, h.Kind, namer)))
+			case core.TypeChange:
+				parts = append(parts, fmt.Sprintf("%s, which exhibits a different pattern", name))
+			case core.NoPatternException:
+				parts = append(parts, fmt.Sprintf("%s, which does not exhibit any particular pattern", name))
+			}
+		}
+		b.WriteString(strings.Join(parts, "; "))
+		b.WriteString(".")
+	}
+	return b.String()
+}
+
+// FlatList renders the Flat-List Representation of a MetaInsight: every data
+// pattern of the HDP presented separately in QuickInsight style. It conveys
+// the complete information of the HDP with no conciseness (the user study's
+// reference representation).
+func FlatList(mi *core.MetaInsight) []string {
+	return FlatListNamed(mi, nil)
+}
+
+// FlatListNamed is FlatList with a custom-type namer.
+func FlatListNamed(mi *core.MetaInsight, namer TypeNamer) []string {
+	out := make([]string, 0, len(mi.HDP.Patterns))
+	for _, dp := range mi.HDP.Patterns {
+		out = append(out, DescribePatternNamed(dp, namer))
+	}
+	return out
+}
+
+// Sparkline renders a series as a compact unicode bar chart for terminal
+// display, e.g. "▃▂▁▁▂▅▇█".
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	minV, maxV := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if maxV > minV {
+			idx = int((v - minV) / (maxV - minV) * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+// Package stats is the statistics substrate for MetaInsight's pattern
+// evaluators and evaluation harness. It implements, from the standard
+// library only: special functions (regularized incomplete beta and gamma),
+// distribution tails (normal, Student t, chi-square), ordinary least squares,
+// non-parametric smoothing, autocorrelation, entropy and KL divergence, and
+// Welch's t-test (used by the user-study analysis, Section 5.2.2).
+package stats
+
+import (
+	"math"
+)
+
+const (
+	maxIterations = 300
+	epsilon       = 3e-14
+	fpmin         = 1e-300
+)
+
+// RegularizedIncompleteBeta computes I_x(a, b), the regularized incomplete
+// beta function, via the continued-fraction expansion (Numerical Recipes
+// §6.4). It panics if a or b is not positive; x outside [0,1] is clamped.
+func RegularizedIncompleteBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic("stats: RegularizedIncompleteBeta requires a > 0 and b > 0")
+	}
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaContinuedFraction(a, b, x) / a
+	}
+	return 1 - front*betaContinuedFraction(b, a, 1-x)/b
+}
+
+// betaContinuedFraction evaluates the continued fraction for the incomplete
+// beta function by the modified Lentz method.
+func betaContinuedFraction(a, b, x float64) float64 {
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIterations; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsilon {
+			break
+		}
+	}
+	return h
+}
+
+// RegularizedLowerGamma computes P(a, x) = γ(a, x)/Γ(a), the regularized
+// lower incomplete gamma function, using the series expansion for x < a+1
+// and the continued fraction otherwise.
+func RegularizedLowerGamma(a, x float64) float64 {
+	if a <= 0 {
+		panic("stats: RegularizedLowerGamma requires a > 0")
+	}
+	if x <= 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// RegularizedUpperGamma computes Q(a, x) = 1 - P(a, x).
+func RegularizedUpperGamma(a, x float64) float64 {
+	return 1 - RegularizedLowerGamma(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < maxIterations; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*epsilon {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIterations; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsilon {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// NormalCDF returns P(Z ≤ z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalSF returns the standard normal survival function P(Z > z).
+func NormalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// StudentTCDF returns P(T ≤ t) for Student's t distribution with df degrees
+// of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		panic("stats: StudentTCDF requires df > 0")
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegularizedIncompleteBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTTwoSidedP returns the two-sided p-value P(|T| ≥ |t|) for Student's
+// t distribution with df degrees of freedom.
+func StudentTTwoSidedP(t, df float64) float64 {
+	if math.IsNaN(t) {
+		return 1
+	}
+	x := df / (df + t*t)
+	return RegularizedIncompleteBeta(df/2, 0.5, x)
+}
+
+// ChiSquareSF returns the survival function P(X ≥ x) for a chi-square
+// distribution with df degrees of freedom.
+func ChiSquareSF(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return RegularizedUpperGamma(df/2, x/2)
+}

@@ -1,0 +1,170 @@
+package userstudy
+
+import (
+	"testing"
+
+	"metainsight/internal/core"
+	"metainsight/internal/quickinsight"
+)
+
+func metaExample(hasExc bool, conciseness float64) Example {
+	return Example{
+		System:        SystemMetaInsight,
+		HasExceptions: hasExc,
+		NumCommonness: 1,
+		Conciseness:   conciseness,
+		Impact:        0.8,
+		Surprise:      map[bool]float64{true: 0.6, false: 0.15}[hasExc],
+	}
+}
+
+func quickExample() Example {
+	return Example{System: SystemQuickInsight, Conciseness: 0.6, Impact: 0.5, Surprise: 0.2}
+}
+
+func manyMeta(n int, hasExc bool) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		out[i] = metaExample(hasExc, 0.7)
+	}
+	return out
+}
+
+func TestRatingsInRange(t *testing.T) {
+	r := NewRater(1, true)
+	for i := 0; i < 1000; i++ {
+		for _, ex := range []Example{metaExample(true, 0.9), metaExample(false, 0.1), quickExample()} {
+			if q := r.RateQ1(ex); q < 1 || q > 5 {
+				t.Fatalf("Q1 = %d", q)
+			}
+			if q := r.RateQ2(ex); q < 1 || q > 5 {
+				t.Fatalf("Q2 = %d", q)
+			}
+			if q := r.RateQ3(ex); q < MuchEasier || q > MuchHarder {
+				t.Fatalf("Q3 = %d", q)
+			}
+			if q := r.RateQ4(ex); q < LossNone || q > LossLot {
+				t.Fatalf("Q4 = %d", q)
+			}
+		}
+	}
+}
+
+func TestRaterDeterministic(t *testing.T) {
+	a, b := NewRater(7, false), NewRater(7, false)
+	ex := metaExample(true, 0.5)
+	for i := 0; i < 100; i++ {
+		if a.RateQ1(ex) != b.RateQ1(ex) || a.RateQ2(ex) != b.RateQ2(ex) {
+			t.Fatal("same-seed raters diverged")
+		}
+	}
+}
+
+func TestExpertStudyDirectionality(t *testing.T) {
+	meta := append(manyMeta(7, true), manyMeta(3, false)...)
+	quick := make([]Example, 10)
+	for i := range quick {
+		quick[i] = quickExample()
+	}
+	res := RunExpertStudy(42, meta, quick, 3)
+	// The paper's headline comparisons: MetaInsight beats QuickInsight on
+	// both questions, and exceptions raise Q2.
+	if res.MetaQ1.Mean <= res.QuickQ1.Mean {
+		t.Errorf("Q1: MetaInsight %.2f ≤ QuickInsight %.2f", res.MetaQ1.Mean, res.QuickQ1.Mean)
+	}
+	if res.MetaQ2.Mean <= res.QuickQ2.Mean {
+		t.Errorf("Q2: MetaInsight %.2f ≤ QuickInsight %.2f", res.MetaQ2.Mean, res.QuickQ2.Mean)
+	}
+	if res.WithExceptionQ2.Mean <= res.NoExceptionQ2.Mean {
+		t.Errorf("Q2 exceptions effect inverted: %.2f ≤ %.2f",
+			res.WithExceptionQ2.Mean, res.NoExceptionQ2.Mean)
+	}
+	// Histograms account for every rating.
+	total := 0
+	for _, c := range res.MetaQ1.Hist {
+		total += c
+	}
+	if total != 3*len(meta) {
+		t.Errorf("Q1 histogram covers %d ratings, want %d", total, 3*len(meta))
+	}
+}
+
+func TestNonExpertStudyShape(t *testing.T) {
+	examples := []Example{}
+	for i := 0; i < 9; i++ {
+		examples = append(examples, metaExample(i%3 != 2, 0.7)) // 3 of 9 without exceptions
+	}
+	res := RunNonExpertStudy(99, examples, 18)
+	if len(res.PerExampleQ1) != 9 || len(res.PerExampleQ2) != 9 {
+		t.Fatal("per-example series wrong length")
+	}
+	if res.TotalQ2Ratings != 9*18 {
+		t.Errorf("total ratings = %d", res.TotalQ2Ratings)
+	}
+	// Q3: the dominant mass must sit on the "easier" side (the paper's 84%).
+	if res.Q3[0]+res.Q3[1] < 0.7 {
+		t.Errorf("easier-side mass = %.2f", res.Q3[0]+res.Q3[1])
+	}
+	// Q4: "a lot" must stay marginal (the paper's 3%).
+	if res.Q4[2] > 0.1 {
+		t.Errorf("a-lot mass = %.2f", res.Q4[2])
+	}
+	// The exception↔Q2 t-test must reach significance with this many
+	// ratings (the paper reports p = 0.018 with the same design).
+	if res.ExceptionTTest.P > 0.05 {
+		t.Errorf("exception effect p = %v", res.ExceptionTTest.P)
+	}
+	if res.ExceptionTTest.T <= 0 {
+		t.Error("exception effect has the wrong sign")
+	}
+	// Proportions are normalized.
+	sum3, sum4 := 0.0, 0.0
+	for _, p := range res.Q3 {
+		sum3 += p
+	}
+	for _, p := range res.Q4 {
+		sum4 += p
+	}
+	if sum3 < 0.999 || sum3 > 1.001 || sum4 < 0.999 || sum4 > 1.001 {
+		t.Errorf("proportions sum to %v and %v", sum3, sum4)
+	}
+}
+
+func TestFromMetaInsightFeatures(t *testing.T) {
+	mi := &core.MetaInsight{
+		CommSet:     []core.Commonness{{}},
+		Exceptions:  []core.Exception{{Index: 0}, {Index: 1}},
+		Conciseness: 0.7,
+		ImpactHDS:   2.5, // must clamp to 1
+	}
+	ex := FromMetaInsight("x", mi)
+	if !ex.HasExceptions || ex.Impact != 1 || ex.Conciseness != 0.7 {
+		t.Errorf("features = %+v", ex)
+	}
+	if ex.Surprise <= 0.45 {
+		t.Error("exceptions should add surprise")
+	}
+	noExc := FromMetaInsight("y", &core.MetaInsight{CommSet: []core.Commonness{{}}, Conciseness: 0.9, ImpactHDS: 0.5})
+	if noExc.HasExceptions || noExc.Surprise >= ex.Surprise {
+		t.Errorf("no-exception features = %+v", noExc)
+	}
+}
+
+func TestFromQuickInsightFeatures(t *testing.T) {
+	ex := FromQuickInsight("q", &quickinsight.Insight{Impact: 0.4})
+	if ex.System != SystemQuickInsight {
+		t.Error("wrong system")
+	}
+	if ex.Surprise > 0.4 {
+		t.Errorf("QuickInsight surprise too high: %v", ex.Surprise)
+	}
+}
+
+func TestChoiceStrings(t *testing.T) {
+	if MuchEasier.String() != "much easier" || MuchHarder.String() != "much harder" {
+		t.Error("Q3 choice names wrong")
+	}
+	if LossNone.String() != "none" || LossLot.String() != "a lot" {
+		t.Error("Q4 choice names wrong")
+	}
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// WriteCSV serializes a table as CSV with a header row, in schema column
+// order. Together with dataset.LoadCSV it round-trips every generated
+// workload, so the CLI and external tools can consume the synthetic
+// datasets.
+func WriteCSV(t *dataset.Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	fields := t.Fields()
+	header := make([]string, len(fields))
+	for i, f := range fields {
+		header[i] = f.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("workload: writing CSV header: %w", err)
+	}
+	dims := t.Dimensions()
+	meas := t.MeasureColumns()
+	record := make([]string, len(fields))
+	for r := 0; r < t.Rows(); r++ {
+		di, mi := 0, 0
+		for c, f := range fields {
+			if f.Kind == model.KindMeasure {
+				record[c] = strconv.FormatFloat(meas[mi].At(r), 'f', -1, 64)
+				mi++
+			} else {
+				col := dims[di]
+				record[c] = col.Value(int(col.CodeAt(r)))
+				di++
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("workload: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

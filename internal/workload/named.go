@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// SalesForecast generates the "Sales Forecast" dataset used in Figure 6(a):
+// a medium-small sales table (Region × Product × Channel × Month) with an
+// April valley shared by most regions, a July-valley region, a flat region
+// and a noisy region, plus a dominant product for outstandingness patterns.
+func SalesForecast() *dataset.Table {
+	regions := namePool("Region", regionNames, 6)
+	products := namePool("Product", []string{"Laptop", "Desktop", "Monitor", "Tablet", "Phone", "Printer", "Router", "Camera", "Speaker", "Drive"}, 10)
+	channels := namePool("Channel", channelNames, 4)
+
+	regionShape := assignShapes(len(regions), valleyAt(3, 0.15), valleyAt(6, 0.15))
+	productBase := make([]float64, len(products))
+	for i := range productBase {
+		productBase[i] = 40 + 12*float64(i%5)
+	}
+	productBase[0] = 400 // dominant product: OutstandingFirst / Attribution
+
+	fields := []model.Field{
+		{Name: "Region", Kind: model.KindCategorical},
+		{Name: "Product", Kind: model.KindCategorical},
+		{Name: "Channel", Kind: model.KindCategorical},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "Sales", Kind: model.KindMeasure},
+		{Name: "Units", Kind: model.KindMeasure},
+		{Name: "Cost", Kind: model.KindMeasure},
+	}
+	domains := [][]string{regions, products, channels, monthNames}
+	return buildTable("Sales Forecast", fields, domains, 1, 101, func(idx []int, r *randSource) []float64 {
+		region, product, channel, month := idx[0], idx[1], idx[2], idx[3]
+		base := productBase[product] * (1 + 0.15*float64(channel))
+		sales := base * regionShape[region](month, r)
+		units := sales / (8 + float64(product))
+		cost := sales * (0.55 + 0.02*float64(region))
+		return []float64{round2(sales), round2(units), round2(cost)}
+	})
+}
+
+// TabletSales generates the "Tablet Sales" dataset of Figure 6(b), a
+// medium-sized table (100k-1M cells): Brand × Country × Segment × Quarter
+// over two years, with a December-quarter peak commonness across brands,
+// exceptions as usual, and a trending country.
+func TabletSales() *dataset.Table {
+	brands := namePool("Brand", brandNames, 10)
+	countries := namePool("Country", []string{"USA", "China", "Japan", "Germany", "India", "Brazil", "UK", "France", "Korea", "Canada", "Mexico", "Italy"}, 12)
+	segments := namePool("Segment", []string{"Consumer", "Education", "Enterprise", "Government", "SMB"}, 5)
+	quarters := []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8"}
+
+	brandShape := assignShapes(len(brands), peakAt(3, 2.2), peakAt(6, 2.2))
+	countryBase := make([]float64, len(countries))
+	for i := range countryBase {
+		countryBase[i] = 30 + 10*float64(i%6)
+	}
+	countryBase[1] = 260 // dominant market
+
+	fields := []model.Field{
+		{Name: "Brand", Kind: model.KindCategorical},
+		{Name: "Country", Kind: model.KindCategorical},
+		{Name: "Segment", Kind: model.KindCategorical},
+		{Name: "Quarter", Kind: model.KindTemporal},
+		{Name: "Revenue", Kind: model.KindMeasure},
+		{Name: "Units", Kind: model.KindMeasure},
+	}
+	domains := [][]string{brands, countries, segments, quarters}
+	return buildTable("Tablet Sales", fields, domains, 4, 202, func(idx []int, r *randSource) []float64 {
+		brand, country, segment, quarter := idx[0], idx[1], idx[2], idx[3]
+		base := countryBase[country] * (1 + 0.1*float64(segment))
+		if country == 4 { // trending market
+			base *= 1 + 0.2*float64(quarter)
+		}
+		rev := base * brandShape[brand](quarter%8, r)
+		units := rev / (3 + 0.3*float64(brand))
+		return []float64{round2(rev), round2(units)}
+	})
+}
+
+// CreditCard generates the "Credit Card" dataset of Figure 6(c), a small
+// table: Segment × Channel × Month with a December spending spike
+// commonness, an outlier month for one channel and the usual exceptions.
+func CreditCard() *dataset.Table {
+	segments := namePool("Segment", segmentNames, 5)
+	channels := namePool("Channel", []string{"POS", "Online", "ATM", "Mobile"}, 4)
+
+	segmentShape := assignShapes(len(segments), peakAt(11, 2.0), peakAt(7, 2.0))
+
+	fields := []model.Field{
+		{Name: "Segment", Kind: model.KindCategorical},
+		{Name: "Channel", Kind: model.KindCategorical},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "Spend", Kind: model.KindMeasure},
+		{Name: "Transactions", Kind: model.KindMeasure},
+	}
+	domains := [][]string{segments, channels, monthNames}
+	return buildTable("Credit Card", fields, domains, 8, 303, func(idx []int, r *randSource) []float64 {
+		segment, channel, month := idx[0], idx[1], idx[2]
+		base := (90 - 14*float64(segment)) * (1 + 0.2*float64(channel))
+		spend := base * segmentShape[segment](month, r)
+		if channel == 2 && month == 5 { // ATM outage outlier in June
+			spend *= 0.15
+		}
+		tx := spend / (4 + float64(segment))
+		return []float64{round2(spend), round2(tx)}
+	})
+}
+
+// HotelBooking generates the "Hotel Booking" dataset of Figure 6(d), the
+// largest of the four (over one million cells): City × Channel × RoomType ×
+// Year × Month with a summer peak commonness across cities, a winter-peak
+// city, and year-over-year growth.
+func HotelBooking() *dataset.Table {
+	cities := namePool("City", cityNames, 18)
+	channels := namePool("Channel", []string{"Web", "Agency", "Phone", "Walk-in", "Corporate"}, 5)
+	rooms := namePool("Room", []string{"Single", "Double", "Suite", "Family"}, 4)
+	years := []string{"2017", "2018", "2019"}
+
+	cityShape := assignShapes(len(cities), peakAt(6, 2.4), peakAt(0, 2.4))
+
+	fields := []model.Field{
+		{Name: "City", Kind: model.KindCategorical},
+		{Name: "Channel", Kind: model.KindCategorical},
+		{Name: "RoomType", Kind: model.KindCategorical},
+		{Name: "Year", Kind: model.KindTemporal},
+		{Name: "Month", Kind: model.KindTemporal},
+		{Name: "Bookings", Kind: model.KindMeasure},
+		{Name: "Revenue", Kind: model.KindMeasure},
+		{Name: "Nights", Kind: model.KindMeasure},
+		{Name: "Cancellations", Kind: model.KindMeasure},
+	}
+	domains := [][]string{cities, channels, rooms, years, monthNames}
+	return buildTable("Hotel Booking", fields, domains, 9, 404, func(idx []int, r *randSource) []float64 {
+		city, channel, room, year, month := idx[0], idx[1], idx[2], idx[3], idx[4]
+		base := (20 + 3*float64(city%7)) * (1 + 0.25*float64(channel)) * (1 + 0.4*float64(room))
+		base *= 1 + 0.15*float64(year) // year-over-year growth
+		bookings := base * cityShape[city](month, r)
+		revenue := bookings * (90 + 30*float64(room))
+		nights := bookings * (1.5 + 0.3*float64(room))
+		cancels := bookings * (0.05 + 0.02*r.Float64())
+		return []float64{round2(bookings), round2(revenue), round2(nights), round2(cancels)}
+	})
+}
+
+// FourLargeDatasets returns the four datasets of the Figure 6 / Table 4 /
+// Figure 12 evaluations in the paper's order.
+func FourLargeDatasets() []*dataset.Table {
+	return []*dataset.Table{SalesForecast(), TabletSales(), CreditCard(), HotelBooking()}
+}

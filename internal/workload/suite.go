@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// GenSpec parameterizes the generic structured generator behind the
+// 35-dataset suite.
+type GenSpec struct {
+	Name string
+	Seed int64
+	// Cards are the cardinalities of the categorical dimensions (the first
+	// is the protagonist that carries the planted commonness/exceptions).
+	Cards []int
+	// Periods is the cardinality of the temporal dimension (clamped to 12
+	// named months; larger values use "T01".. labels).
+	Periods int
+	// Measures is the number of measure columns (≥ 1).
+	Measures int
+	// RowsPerCell replicates each cross-product combination.
+	RowsPerCell int
+}
+
+// Generate builds a structured synthetic dataset: the protagonist dimension
+// shares a valley commonness with highlight-change / type-change /
+// no-pattern exceptions, the second dimension has a dominant member, and one
+// member of the third (when present) trends upward.
+func Generate(spec GenSpec) *dataset.Table {
+	if len(spec.Cards) == 0 || spec.Measures < 1 || spec.Periods < 4 || spec.RowsPerCell < 1 {
+		panic("workload: invalid GenSpec")
+	}
+	var fields []model.Field
+	var domains [][]string
+	for d, card := range spec.Cards {
+		name := fmt.Sprintf("Dim%c", 'A'+d)
+		fields = append(fields, model.Field{Name: name, Kind: model.KindCategorical})
+		members := make([]string, card)
+		for i := range members {
+			members[i] = fmt.Sprintf("%s_%02d", name, i+1)
+		}
+		domains = append(domains, members)
+	}
+	fields = append(fields, model.Field{Name: "Period", Kind: model.KindTemporal})
+	var periods []string
+	if spec.Periods <= 12 {
+		periods = monthNames[:spec.Periods]
+	} else {
+		periods = make([]string, spec.Periods)
+		for i := range periods {
+			periods[i] = fmt.Sprintf("T%02d", i+1)
+		}
+	}
+	domains = append(domains, periods)
+	for m := 0; m < spec.Measures; m++ {
+		fields = append(fields, model.Field{Name: fmt.Sprintf("M%d", m+1), Kind: model.KindMeasure})
+	}
+
+	valley := spec.Periods / 3
+	alt := 2 * spec.Periods / 3
+	protagonist := assignShapes(spec.Cards[0], valleyAt(valley, 0.15), valleyAt(alt, 0.15))
+
+	return buildTable(spec.Name, fields, domains, spec.RowsPerCell, spec.Seed,
+		func(idx []int, r *randSource) []float64 {
+			nd := len(spec.Cards)
+			period := idx[nd]
+			base := 50.0
+			for d := 1; d < nd; d++ {
+				base *= 1 + 0.1*float64(idx[d]%7)
+			}
+			if nd >= 2 && idx[1] == 0 {
+				base *= 6 // dominant member on DimB
+			}
+			if nd >= 3 && idx[2] == 1 {
+				base *= 1 + 0.15*float64(period) // trending member on DimC
+			}
+			v := base * protagonist[idx[0]](period, r)
+			out := make([]float64, spec.Measures)
+			out[0] = round2(v)
+			for m := 1; m < spec.Measures; m++ {
+				out[m] = round2(v * (0.2 + 0.15*float64(m)) * (0.95 + 0.1*r.Float64()))
+			}
+			return out
+		})
+}
+
+// Suite returns the 35-dataset evaluation suite of Section 5.1.1: the four
+// named large datasets plus 31 generated ones spanning the paper's size
+// buckets (under 1k cells up to over 1M cells, Table 3).
+func Suite() []*dataset.Table {
+	out := make([]*dataset.Table, 0, 35)
+	out = append(out, FourLargeDatasets()...)
+	specs := suiteSpecs()
+	for _, s := range specs {
+		out = append(out, Generate(s))
+	}
+	return out
+}
+
+// suiteSpecs defines the 31 generated suite members. Sizes were chosen so
+// the suite's bucket populations resemble the paper's Table 3 spread.
+func suiteSpecs() []GenSpec {
+	var specs []GenSpec
+	add := func(cards []int, periods, measures, rowsPerCell int) {
+		n := len(specs)
+		specs = append(specs, GenSpec{
+			Name:        fmt.Sprintf("Suite-%02d", n+1),
+			Seed:        int64(1000 + n*7),
+			Cards:       cards,
+			Periods:     periods,
+			Measures:    measures,
+			RowsPerCell: rowsPerCell,
+		})
+	}
+	// Bucket 0-1k cells (tiny): 3 datasets.
+	add([]int{5}, 8, 1, 1)
+	add([]int{6, 3}, 6, 1, 1)
+	add([]int{4, 4}, 8, 2, 1)
+	// Bucket 1k-10k: 6 datasets.
+	add([]int{8, 4}, 12, 2, 1)
+	add([]int{10, 5}, 12, 2, 1)
+	add([]int{6, 6, 3}, 12, 1, 1)
+	add([]int{12, 4}, 12, 3, 1)
+	add([]int{8, 8}, 12, 2, 2)
+	add([]int{10, 6}, 8, 2, 2)
+	// Bucket 10k-100k: 9 datasets.
+	add([]int{12, 8, 4}, 12, 2, 1)
+	add([]int{15, 10}, 12, 3, 3)
+	add([]int{10, 8, 5}, 12, 2, 1)
+	add([]int{20, 6, 4}, 12, 2, 1)
+	add([]int{8, 8, 6}, 12, 3, 2)
+	add([]int{14, 7, 5}, 12, 2, 2)
+	add([]int{16, 12}, 12, 4, 3)
+	add([]int{10, 10, 4}, 12, 2, 2)
+	add([]int{12, 6, 6}, 12, 3, 1)
+	// Bucket 100k-1M: 10 datasets.
+	add([]int{20, 10, 6}, 12, 3, 2)
+	add([]int{16, 12, 8}, 12, 2, 2)
+	add([]int{24, 10, 5}, 12, 3, 3)
+	add([]int{20, 15, 6}, 12, 2, 2)
+	add([]int{12, 12, 10}, 12, 3, 2)
+	add([]int{30, 8, 6}, 12, 2, 4)
+	add([]int{18, 14, 7}, 12, 3, 2)
+	add([]int{25, 12, 6}, 12, 2, 3)
+	add([]int{15, 10, 8, 4}, 12, 2, 1)
+	add([]int{22, 16, 5}, 12, 4, 2)
+	// Bucket 1M+: 3 generated (Hotel Booking is the fourth).
+	add([]int{30, 15, 8}, 12, 4, 4)
+	add([]int{25, 20, 10}, 12, 3, 3)
+	add([]int{40, 12, 8}, 12, 4, 4)
+	return specs
+}
+
+// BucketLabel returns the Table 3 size-bucket label for a cell count.
+func BucketLabel(cells int) string {
+	switch {
+	case cells < 1_000:
+		return "0-1k"
+	case cells < 10_000:
+		return "1k-10k"
+	case cells < 100_000:
+		return "10k-100k"
+	case cells < 1_000_000:
+		return "100k-1M"
+	default:
+		return "1M+"
+	}
+}
+
+// BucketOrder lists the Table 3 buckets smallest-first.
+var BucketOrder = []string{"0-1k", "1k-10k", "10k-100k", "100k-1M", "1M+"}

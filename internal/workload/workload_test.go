@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+func TestNamedDatasetShapes(t *testing.T) {
+	cases := []struct {
+		tab      *dataset.Table
+		bucket   string
+		temporal int
+	}{
+		{SalesForecast(), "10k-100k", 1},
+		{TabletSales(), "100k-1M", 1},
+		{CreditCard(), "1k-10k", 1},
+		{HotelBooking(), "1M+", 2},
+	}
+	for _, c := range cases {
+		got := BucketLabel(c.tab.Cells())
+		if got != c.bucket {
+			t.Errorf("%s: %d cells in bucket %s, want %s", c.tab.Name(), c.tab.Cells(), got, c.bucket)
+		}
+		if n := len(c.tab.TemporalDimensions()); n != c.temporal {
+			t.Errorf("%s: %d temporal dims, want %d", c.tab.Name(), n, c.temporal)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := SalesForecast(), SalesForecast()
+	if a.Rows() != b.Rows() {
+		t.Fatal("row counts differ across runs")
+	}
+	col := a.MeasureColumn("Sales")
+	col2 := b.MeasureColumn("Sales")
+	for i := 0; i < a.Rows(); i += 97 {
+		if col.At(i) != col2.At(i) {
+			t.Fatalf("row %d differs: %v vs %v", i, col.At(i), col2.At(i))
+		}
+	}
+}
+
+func TestSuiteSizeAndBucketSpread(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 35 {
+		t.Fatalf("suite has %d datasets, want 35 (Section 5.1.1)", len(suite))
+	}
+	buckets := map[string]int{}
+	names := map[string]bool{}
+	for _, tab := range suite {
+		if names[tab.Name()] {
+			t.Errorf("duplicate dataset name %q", tab.Name())
+		}
+		names[tab.Name()] = true
+		buckets[BucketLabel(tab.Cells())]++
+	}
+	for _, b := range BucketOrder {
+		if buckets[b] < 3 {
+			t.Errorf("bucket %s has only %d datasets", b, buckets[b])
+		}
+	}
+	if buckets["1M+"] < 4 {
+		t.Errorf("1M+ bucket has %d datasets, want ≥ 4 (four large datasets)", buckets["1M+"])
+	}
+}
+
+func TestUserStudyDatasetShapesMatchTable5(t *testing.T) {
+	want := []struct {
+		rows, cols int
+	}{
+		{474, 24}, // Survey on Remote Working
+		{275, 5},  // Car Sales
+		{4862, 8}, // Air Pollution Emissions
+		{141, 7},  // Hiking Trail
+	}
+	for i, tab := range UserStudyDatasets() {
+		if tab.Rows() != want[i].rows || tab.Cols() != want[i].cols {
+			t.Errorf("%s: %d×%d, want %d×%d (Table 5)",
+				tab.Name(), tab.Rows(), tab.Cols(), want[i].rows, want[i].cols)
+		}
+	}
+}
+
+func TestSurveyHasOnlyCategoricalColumns(t *testing.T) {
+	tab := RemoteWorkSurvey()
+	for _, f := range tab.Fields() {
+		if f.Kind != model.KindCategorical {
+			t.Errorf("survey column %q is %v", f.Name, f.Kind)
+		}
+	}
+	ms := tab.DefaultMeasures()
+	if len(ms) != 1 || ms[0].Key() != "COUNT(*)" {
+		t.Errorf("survey measures = %v, want only COUNT(*)", ms)
+	}
+}
+
+func TestSurveyPlantedWorkspaceProductivityLink(t *testing.T) {
+	tab := RemoteWorkSurvey()
+	ws := tab.Dimension(SurveyQuestions[1])
+	prod := tab.Dimension(SurveyQuestions[0])
+	negWhenBad, totalBad := 0, 0
+	negOther, totalOther := 0, 0
+	for i := 0; i < tab.Rows(); i++ {
+		bad := ws.Value(int(ws.CodeAt(i))) == "Strongly agree"
+		p := prod.Value(int(prod.CodeAt(i)))
+		neg := p == "Much less productive" || p == "Less productive"
+		if bad {
+			totalBad++
+			if neg {
+				negWhenBad++
+			}
+		} else {
+			totalOther++
+			if neg {
+				negOther++
+			}
+		}
+	}
+	if totalBad < 10 {
+		t.Fatalf("only %d strongly-agree-workspace respondents", totalBad)
+	}
+	rateBad := float64(negWhenBad) / float64(totalBad)
+	rateOther := float64(negOther) / float64(totalOther)
+	if rateBad < rateOther+0.3 {
+		t.Errorf("workspace→productivity link too weak: %.2f vs %.2f", rateBad, rateOther)
+	}
+}
+
+func TestAirPollutionPlantedStructure(t *testing.T) {
+	tab := AirPollution()
+	src := tab.Dimension("Energy Source")
+	prod := tab.Dimension("Producer Type")
+	so2 := tab.MeasureColumn("SO2")
+	sums := map[string]map[string]float64{} // producer -> source -> SO2
+	for i := 0; i < tab.Rows(); i++ {
+		s := src.Value(int(src.CodeAt(i)))
+		p := prod.Value(int(prod.CodeAt(i)))
+		if sums[p] == nil {
+			sums[p] = map[string]float64{}
+		}
+		sums[p][s] += so2.At(i)
+	}
+	for p, bySource := range sums {
+		if bySource["Geothermal"] != 0 {
+			t.Errorf("%s: Geothermal SO2 = %v, want 0", p, bySource["Geothermal"])
+		}
+		dominant := ""
+		best := -1.0
+		for s, v := range bySource {
+			if v > best {
+				dominant, best = s, v
+			}
+		}
+		want := "Other"
+		if p == "Industrial Non-Cogen" {
+			want = "Coal"
+		}
+		if dominant != want {
+			t.Errorf("%s: SO2 dominated by %s, want %s", p, dominant, want)
+		}
+	}
+}
+
+func TestGenerateValidatesSpec(t *testing.T) {
+	for _, bad := range []GenSpec{
+		{},
+		{Cards: []int{5}, Periods: 2, Measures: 1, RowsPerCell: 1},
+		{Cards: []int{5}, Periods: 12, Measures: 0, RowsPerCell: 1},
+		{Cards: []int{5}, Periods: 12, Measures: 1, RowsPerCell: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %+v accepted", bad)
+				}
+			}()
+			Generate(bad)
+		}()
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tab := Generate(GenSpec{Name: "g", Seed: 1, Cards: []int{6, 4}, Periods: 12, Measures: 2, RowsPerCell: 2})
+	// Record counts are Zipf-skewed with stochastic rounding; the expected
+	// total is the cross-product size times RowsPerCell.
+	expected := 6 * 4 * 12 * 2
+	if tab.Rows() < expected*8/10 || tab.Rows() > expected*12/10 {
+		t.Errorf("rows = %d, expected near %d", tab.Rows(), expected)
+	}
+	if tab.Cols() != 5 {
+		t.Errorf("cols = %d", tab.Cols())
+	}
+	if len(tab.TemporalDimensions()) != 1 || tab.TemporalDimensions()[0] != "Period" {
+		t.Error("temporal dimension missing")
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	cases := map[int]string{
+		500: "0-1k", 5_000: "1k-10k", 50_000: "10k-100k",
+		500_000: "100k-1M", 5_000_000: "1M+",
+	}
+	for cells, want := range cases {
+		if got := BucketLabel(cells); got != want {
+			t.Errorf("BucketLabel(%d) = %s", cells, got)
+		}
+	}
+}
+
+func TestWriteCSVRoundtrip(t *testing.T) {
+	tab := CarSales()
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.LoadCSV(&buf, dataset.LoadOptions{Name: tab.Name()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != tab.Rows() || back.Cols() != tab.Cols() {
+		t.Fatalf("roundtrip shape %dx%d, want %dx%d", back.Rows(), back.Cols(), tab.Rows(), tab.Cols())
+	}
+	// Kinds must be re-inferred identically.
+	want := map[string]model.FieldKind{}
+	for _, f := range tab.Fields() {
+		want[f.Name] = f.Kind
+	}
+	for _, f := range back.Fields() {
+		if want[f.Name] != f.Kind {
+			t.Errorf("column %q came back as %v, want %v", f.Name, f.Kind, want[f.Name])
+		}
+	}
+	// Aggregates must match: total sales is preserved.
+	var origSum, backSum float64
+	oc, bc := tab.MeasureColumn("Sales"), back.MeasureColumn("Sales")
+	for i := 0; i < tab.Rows(); i++ {
+		origSum += oc.At(i)
+		backSum += bc.At(i)
+	}
+	if math.Abs(origSum-backSum) > 1e-6 {
+		t.Errorf("sales sum %v vs %v", origSum, backSum)
+	}
+}

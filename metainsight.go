@@ -1,0 +1,505 @@
+// Package metainsight is a from-scratch Go implementation of MetaInsight
+// (Ma, Ding, Han, Zhang — SIGMOD 2021): automatic discovery of structured
+// knowledge from multi-dimensional data for exploratory data analysis.
+//
+// A MetaInsight organizes the basic data patterns of a homogeneous data
+// pattern (HDP) into commonness(es) — general knowledge like "most cities
+// had their lowest sales in April" — and exceptions — "except San Diego,
+// whose low month was July" — concretizing the induction and validation
+// steps of an EDA iteration. The library contains the full system described
+// in the paper: the columnar query substrate with basic and augmented
+// queries, eleven basic-data-pattern evaluators, the HDP formulation with
+// three extension strategies, the conciseness/impact/actionability scoring
+// function, the pattern-guided progressive miner with priority queues and
+// two caches, and the redundancy-aware top-k ranking algorithm.
+//
+// Quick start:
+//
+//	tab, err := metainsight.OpenCSV("sales.csv")
+//	insights, err := metainsight.Analyze(tab, 10)
+//	for _, in := range insights {
+//		fmt.Println(in.Description())
+//	}
+//
+// For control over budgets, measures and hyper-parameters, build an
+// Analyzer:
+//
+//	a, err := metainsight.NewAnalyzer(tab,
+//		metainsight.WithTimeBudget(5*time.Second),
+//		metainsight.WithTau(0.5),
+//	)
+//	result := a.Mine()
+//	top := a.Rank(result, 10)
+package metainsight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/core"
+	"metainsight/internal/dataset"
+	"metainsight/internal/engine"
+	"metainsight/internal/miner"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+	"metainsight/internal/ranker"
+	"metainsight/internal/render"
+	"metainsight/internal/stats"
+)
+
+// Re-exported vocabulary. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Dataset is an immutable columnar multi-dimensional table.
+	Dataset = dataset.Table
+	// Field describes one column (name + kind).
+	Field = model.Field
+	// FieldKind classifies a column as categorical, temporal or measure.
+	FieldKind = model.FieldKind
+	// Measure pairs an aggregate (SUM/COUNT/AVG/MIN/MAX) with a column.
+	Measure = model.Measure
+	// Subspace is a set of dimension filters.
+	Subspace = model.Subspace
+	// Filter is one dimension filter.
+	Filter = model.Filter
+	// DataScope is the paper's ⟨subspace, breakdown, measure⟩ 3-tuple.
+	DataScope = model.DataScope
+	// MetaInsight is a scored, categorized homogeneous data pattern.
+	MetaInsight = core.MetaInsight
+	// MiningResult holds all mined MetaInsight candidates plus statistics.
+	MiningResult = miner.Result
+	// MiningStats aggregates the run counters.
+	MiningStats = miner.Stats
+	// PatternType enumerates the 11 basic data pattern types.
+	PatternType = pattern.Type
+	// Highlight encodes a pattern's essential characteristics; equality of
+	// highlights defines the Sim similarity of Equation 8.
+	Highlight = pattern.Highlight
+	// PatternEvaluation is the outcome of one pattern-type evaluation.
+	PatternEvaluation = pattern.Evaluation
+	// CustomPattern is a user-supplied domain-specific pattern type — the
+	// extensibility hook of Section 3.1. Custom types participate in HDPs,
+	// similarity, commonness/exception categorization and scoring exactly
+	// like the built-ins.
+	CustomPattern = pattern.CustomEvaluator
+)
+
+// Column-kind constants, re-exported for schema construction.
+const (
+	Categorical = model.KindCategorical
+	Temporal    = model.KindTemporal
+	MeasureKind = model.KindMeasure
+)
+
+// Aggregate constructors, re-exported for measure sets.
+var (
+	// Sum constructs SUM(column).
+	Sum = model.Sum
+	// Count constructs COUNT(column); Count("*") is COUNT(*).
+	Count = model.Count
+	// Avg constructs AVG(column).
+	Avg = model.Avg
+	// Min constructs MIN(column).
+	Min = model.Min
+	// Max constructs MAX(column).
+	Max = model.Max
+)
+
+// OpenCSV loads a CSV file with a header row, inferring column kinds
+// (numeric → measure; months/quarters/years/dates → temporal; otherwise
+// categorical).
+func OpenCSV(path string, opts ...LoadOption) (*Dataset, error) {
+	o := dataset.LoadOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return dataset.LoadCSVFile(path, o)
+}
+
+// ReadCSV loads CSV data from a reader; see OpenCSV.
+func ReadCSV(r io.Reader, name string, opts ...LoadOption) (*Dataset, error) {
+	o := dataset.LoadOptions{Name: name}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return dataset.LoadCSV(r, o)
+}
+
+// FromRecords builds a dataset from an in-memory header and string records,
+// applying the same kind inference as OpenCSV.
+func FromRecords(name string, header []string, records [][]string, opts ...LoadOption) (*Dataset, error) {
+	o := dataset.LoadOptions{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return dataset.FromRecords(name, header, records, o)
+}
+
+// DeriveTemporal returns a copy of the dataset with temporal hierarchy
+// columns ("<col> Year", "<col> Quarter", "<col> Month" and, for
+// day-precision dates, "<col> Weekday") derived from a date column. The
+// derived granularities are what the breakdown extension strategy (Section
+// 3.2) varies over.
+func DeriveTemporal(d *Dataset, dateColumn string) (*Dataset, error) {
+	return dataset.DeriveTemporal(d, dateColumn)
+}
+
+// NewDatasetBuilder constructs a typed dataset row by row, for callers that
+// already know their schema.
+func NewDatasetBuilder(name string, fields []Field) *dataset.Builder {
+	return dataset.NewBuilder(name, fields)
+}
+
+// LoadOption customizes CSV ingestion.
+type LoadOption func(*dataset.LoadOptions)
+
+// WithColumnKind forces a column to a specific kind, bypassing inference.
+func WithColumnKind(column string, kind FieldKind) LoadOption {
+	return func(o *dataset.LoadOptions) {
+		if o.KindOverrides == nil {
+			o.KindOverrides = map[string]FieldKind{}
+		}
+		o.KindOverrides[column] = kind
+	}
+}
+
+// WithMaxDimensionCardinality drops categorical columns with more distinct
+// values (e.g. free-text ID columns) from the analysis.
+func WithMaxDimensionCardinality(n int) LoadOption {
+	return func(o *dataset.LoadOptions) { o.MaxDimensionCardinality = n }
+}
+
+// Analyzer runs MetaInsight mining and ranking over one dataset.
+type Analyzer struct {
+	eng        *engine.Engine
+	meter      *engine.Meter
+	cfg        miner.Config
+	wts        ranker.Weights
+	timeBudget time.Duration // anchored at each Mine call
+}
+
+// Option customizes an Analyzer.
+type Option func(*analyzerOptions)
+
+type analyzerOptions struct {
+	measures       []Measure
+	impact         Measure
+	minerCfg       miner.Config
+	customPatterns []CustomPattern
+	correlations   [][2]Measure
+	timeBudget     time.Duration
+	costBudget     float64
+	disableQC      bool
+	disablePC      bool
+	weights        ranker.Weights
+}
+
+// WithMeasures sets the measure set M (default: SUM over every measure
+// column plus COUNT(*)).
+func WithMeasures(ms ...Measure) Option {
+	return func(o *analyzerOptions) { o.measures = ms }
+}
+
+// WithImpactMeasure sets the impact measure (must be SUM or COUNT; default
+// COUNT(*), as in the paper's evaluation).
+func WithImpactMeasure(m Measure) Option {
+	return func(o *analyzerOptions) { o.impact = m }
+}
+
+// WithTimeBudget bounds mining by wall-clock time; mining is progressive
+// and returns the best-so-far MetaInsights at the deadline.
+func WithTimeBudget(d time.Duration) Option {
+	return func(o *analyzerOptions) { o.timeBudget = d }
+}
+
+// WithCostBudget bounds mining by deterministic engine cost units (one unit
+// approximates a millisecond of an IPC-backed query substrate). Runs with a
+// cost budget are exactly reproducible.
+func WithCostBudget(units float64) Option {
+	return func(o *analyzerOptions) { o.costBudget = units }
+}
+
+// WithWorkers sets the evaluation worker count (default 8, as in the paper).
+func WithWorkers(n int) Option {
+	return func(o *analyzerOptions) { o.minerCfg.Workers = n }
+}
+
+// WithTau sets the commonness threshold τ (default 0.5).
+func WithTau(tau float64) Option {
+	return func(o *analyzerOptions) {
+		o.minerCfg.Score = core.DefaultScoreParams()
+		o.minerCfg.Score.Tau = tau
+	}
+}
+
+// WithMaxSubspaceFilters caps subspace depth (default 3).
+func WithMaxSubspaceFilters(n int) Option {
+	return func(o *analyzerOptions) { o.minerCfg.MaxSubspaceFilters = n }
+}
+
+// WithoutQueryCache disables the query cache (ablation runs).
+func WithoutQueryCache() Option {
+	return func(o *analyzerOptions) { o.disableQC = true }
+}
+
+// WithoutPatternCache disables the pattern cache (ablation runs).
+func WithoutPatternCache() Option {
+	return func(o *analyzerOptions) { o.disablePC = true }
+}
+
+// WithFIFOQueues replaces the impact-ordered priority queues with FIFO
+// queues (ablation runs).
+func WithFIFOQueues() Option {
+	return func(o *analyzerOptions) { o.minerCfg.UsePriorityQueues = false }
+}
+
+// WithProgress registers a callback invoked whenever the miner stores a new
+// MetaInsight, enabling progressive display during a budgeted run. The
+// callback may be invoked from multiple worker goroutines; it must be safe
+// for concurrent use and fast (it runs on the mining path).
+func WithProgress(fn func(*MetaInsight)) Option {
+	return func(o *analyzerOptions) { o.minerCfg.OnMetaInsight = fn }
+}
+
+// WithCorrelationPatterns registers, per (primary, secondary) measure pair,
+// a scope-aware pattern type "Correlation(primary, secondary)" that holds
+// when the two measures' series over a scope's breakdown are significantly
+// correlated (Pearson, p < 0.05, |r| ≥ 0.5; highlight: "positive" or
+// "negative"). Correlation scopes carry two measures — the multi-measure
+// ("scatter plot") analysis class the paper's Section 6 identifies beyond
+// single-measure data scopes and defers to future work. The pattern fires on
+// the primary measure's scopes only, so each pair yields one HDP family;
+// commonness and exceptions then read e.g. "for most Cities, Sales and
+// Profit are positively correlated, except …".
+func WithCorrelationPatterns(pairs ...[2]Measure) Option {
+	return func(o *analyzerOptions) {
+		o.correlations = append(o.correlations, pairs...)
+	}
+}
+
+// WithCustomPatternTypes registers additional domain-specific pattern types
+// (Section 3.1's extensibility). Each custom pattern is assigned a Type and
+// evaluated on every data scope alongside the built-in eleven.
+func WithCustomPatternTypes(evals ...CustomPattern) Option {
+	return func(o *analyzerOptions) {
+		o.customPatterns = append(o.customPatterns, evals...)
+	}
+}
+
+// WithRankingWeights overrides the overlap-ratio weights of the ranking
+// stage.
+func WithRankingWeights(w ranker.Weights) Option {
+	return func(o *analyzerOptions) { o.weights = w }
+}
+
+// NewAnalyzer creates an analyzer over a dataset.
+func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
+	o := analyzerOptions{
+		minerCfg: miner.DefaultConfig(),
+		weights:  ranker.DefaultWeights(),
+	}
+	o.minerCfg.UsePriorityQueues = true
+	for _, opt := range opts {
+		opt(&o)
+	}
+	meter := &engine.Meter{}
+	eng, err := engine.New(d, engine.Config{
+		Measures:      o.measures,
+		ImpactMeasure: o.impact,
+		QueryCache:    cache.NewQueryCache(!o.disableQC),
+		Meter:         meter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.minerCfg
+	if len(o.customPatterns) > 0 || len(o.correlations) > 0 {
+		if cfg.Pattern.Alpha == 0 {
+			cfg.Pattern = pattern.DefaultConfig()
+		}
+		cfg.Pattern.Custom = append(cfg.Pattern.Custom, o.customPatterns...)
+		for _, pair := range o.correlations {
+			cfg.Pattern.Custom = append(cfg.Pattern.Custom, correlationEvaluator(eng, pair[0], pair[1]))
+		}
+	}
+	if o.disablePC {
+		cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](false)
+	}
+	if o.costBudget > 0 {
+		cfg.Budget = engine.CostBudget{Meter: meter, Limit: o.costBudget}
+	}
+	return &Analyzer{eng: eng, meter: meter, cfg: cfg, wts: o.weights, timeBudget: o.timeBudget}, nil
+}
+
+// Mine runs the mining procedure, returning every qualified MetaInsight
+// candidate (deduplicated, score-descending) plus run statistics.
+func (a *Analyzer) Mine() *MiningResult {
+	cfg := a.cfg
+	// Time budgets anchor at the call to Mine, not at analyzer creation,
+	// and never override an explicit cost budget.
+	if a.timeBudget > 0 && cfg.Budget == nil {
+		cfg.Budget = engine.NewTimeBudget(a.timeBudget)
+	}
+	return miner.New(a.eng, cfg).Run()
+}
+
+// Rank selects the top-k MetaInsights with high usefulness and low
+// inter-MetaInsight redundancy (the paper's greedy second-order algorithm).
+func (a *Analyzer) Rank(result *MiningResult, k int) []*Insight {
+	top := ranker.Greedy(result.MetaInsights, k, a.wts)
+	out := make([]*Insight, len(top))
+	for i, mi := range top {
+		out[i] = &Insight{mi: mi, namer: a.cfg.Pattern.TypeName}
+	}
+	return out
+}
+
+// Engine exposes the underlying query engine for advanced use (issuing
+// basic/augmented queries directly).
+func (a *Analyzer) Engine() *engine.Engine { return a.eng }
+
+// Analyze is the one-call API: mine with default configuration and return
+// the top-k ranked insights.
+func Analyze(d *Dataset, k int, opts ...Option) ([]*Insight, error) {
+	a, err := NewAnalyzer(d, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return a.Rank(a.Mine(), k), nil
+}
+
+// correlationEvaluator builds the scope-aware evaluator behind
+// WithCorrelationPatterns: it fetches the secondary measure's series for the
+// same scope (a cache hit — the query-cache unit spans all measures) and
+// tests the paired series for significant correlation.
+func correlationEvaluator(eng *engine.Engine, primary, secondary Measure) pattern.CustomEvaluator {
+	const (
+		alpha   = 0.05
+		minAbsR = 0.5
+	)
+	return pattern.CustomEvaluator{
+		Name: fmt.Sprintf("Correlation(%s, %s)", primary, secondary),
+		EvaluateScope: func(scope DataScope, keys []string, values []float64) pattern.Evaluation {
+			if scope.Measure != primary || scope.Breakdown == "" || len(values) < 5 {
+				return pattern.Evaluation{}
+			}
+			other := scope
+			other.Measure = secondary
+			series, err := eng.BasicQuery(other)
+			if err != nil || series.Len() != len(values) {
+				return pattern.Evaluation{}
+			}
+			// Both series come from the same unit, so keys align; verify
+			// defensively.
+			for i, k := range series.Keys {
+				if keys[i] != k {
+					return pattern.Evaluation{}
+				}
+			}
+			res := stats.PearsonR(values, series.Values)
+			if res.P >= alpha || math.Abs(res.R) < minAbsR {
+				return pattern.Evaluation{}
+			}
+			label := "positive"
+			if res.R < 0 {
+				label = "negative"
+			}
+			strength := res.R
+			if strength < 0 {
+				strength = -strength
+			}
+			return pattern.Evaluation{
+				Valid:     true,
+				Highlight: Highlight{Label: label},
+				Strength:  strength,
+			}
+		},
+	}
+}
+
+// Insight is a presentation wrapper around a mined MetaInsight.
+type Insight struct {
+	mi    *core.MetaInsight
+	namer render.TypeNamer
+}
+
+// MetaInsight returns the underlying structured result.
+func (in *Insight) MetaInsight() *MetaInsight { return in.mi }
+
+// Score returns the usefulness score (Equation 18).
+func (in *Insight) Score() float64 { return in.mi.Score }
+
+// HasExceptions reports whether the insight carries exceptions — the
+// property the paper's user study links to follow-up-analysis interest.
+func (in *Insight) HasExceptions() bool { return in.mi.HasExceptions() }
+
+// Description renders the insight as a sentence in the paper's narrative
+// style ("For most Cities, Month: Apr has the lowest SUM(Sales), except…").
+func (in *Insight) Description() string { return render.DescribeMetaInsightNamed(in.mi, in.namer) }
+
+// FlatList renders the Flat-List Representation: every basic data pattern of
+// the HDP described separately.
+func (in *Insight) FlatList() []string { return render.FlatListNamed(in.mi, in.namer) }
+
+// String implements fmt.Stringer.
+func (in *Insight) String() string {
+	return fmt.Sprintf("[%.3f] %s", in.mi.Score, in.Description())
+}
+
+// MarshalJSON serializes the insight as a structured JSON document
+// (commonnesses with members and ratios, categorized exceptions, score
+// components and the narrative description), for export to downstream
+// tools.
+func (in *Insight) MarshalJSON() ([]byte, error) {
+	return json.Marshal(render.ToJSON(in.mi, in.namer))
+}
+
+// WriteReport renders the given insights as a markdown EDA report: one
+// section per insight with its narrative, score breakdown, commonness
+// membership, categorized exceptions, sparklines of the raw distributions
+// and an optional flat-list appendix.
+func (a *Analyzer) WriteReport(w io.Writer, insights []*Insight, title string) error {
+	mis := make([]*core.MetaInsight, len(insights))
+	for i, in := range insights {
+		mis[i] = in.mi
+	}
+	return render.MarkdownReport(w, mis, render.ReportOptions{
+		Title:      title,
+		FlatList:   true,
+		Sparklines: true,
+		Engine:     a.eng,
+		Namer:      a.cfg.Pattern.TypeName,
+	})
+}
+
+// NewProgressiveRanker returns a live diversified top-k maintainer for
+// budgeted runs: register its Add method with WithProgress and read TopK at
+// any time while mining is still in flight.
+//
+//	prog := metainsight.NewProgressiveRanker(10)
+//	a, _ := metainsight.NewAnalyzer(tab,
+//		metainsight.WithTimeBudget(30*time.Second),
+//		metainsight.WithProgress(prog.Add),
+//	)
+//	go a.Mine()
+//	... // prog.TopK() serves the current suggestion
+func NewProgressiveRanker(k int) *ranker.Progressive {
+	return ranker.NewProgressive(k, ranker.DefaultWeights(), 0)
+}
+
+// CustomPatternType returns the PatternType assigned to the i-th registered
+// custom pattern (WithCustomPatternTypes entries first, then one per
+// WithCorrelationPatterns pair).
+func CustomPatternType(i int) PatternType { return pattern.CustomType(i) }
+
+// Describe renders any mined MetaInsight as a sentence in the paper's
+// narrative style; it is the function behind Insight.Description for callers
+// holding a raw *MetaInsight from MiningResult.MetaInsights.
+func Describe(mi *MetaInsight) string { return render.DescribeMetaInsight(mi) }
+
+// FlatListOf renders the Flat-List Representation of any mined MetaInsight.
+func FlatListOf(mi *MetaInsight) []string { return render.FlatList(mi) }

@@ -1,0 +1,555 @@
+package metainsight_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"metainsight"
+	"metainsight/internal/model"
+)
+
+// houseRecords builds the paper's running example as raw records.
+func houseRecords() ([]string, [][]string) {
+	header := []string{"City", "Month", "Sales"}
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	valley := []float64{100, 70, 40, 10, 40, 70, 100, 100, 100, 100, 100, 100}
+	julyValley := []float64{100, 100, 100, 100, 70, 40, 10, 40, 70, 100, 100, 100}
+	var records [][]string
+	add := func(city string, series []float64) {
+		for m, v := range series {
+			records = append(records, []string{city, months[m], strconv.FormatFloat(v, 'f', -1, 64)})
+		}
+	}
+	for _, city := range []string{"LA", "SF", "SJ", "Oakland", "Sacramento"} {
+		add(city, valley)
+	}
+	add("San Diego", julyValley)
+	return header, records
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insights, err := metainsight.Analyze(tab, 5,
+		metainsight.WithMeasures(metainsight.Sum("Sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insights) == 0 {
+		t.Fatal("no insights")
+	}
+	found := false
+	for _, in := range insights {
+		desc := in.Description()
+		if strings.Contains(desc, "Apr has the lowest SUM(Sales)") &&
+			strings.Contains(desc, "San Diego") {
+			found = true
+			if !in.HasExceptions() {
+				t.Error("San Diego exception lost")
+			}
+			if in.Score() <= 0 || in.Score() > 1 {
+				t.Errorf("score = %v", in.Score())
+			}
+			if len(in.FlatList()) != len(in.MetaInsight().HDP.Patterns) {
+				t.Error("flat list incomplete")
+			}
+		}
+	}
+	if !found {
+		t.Error("paper's running-example MetaInsight not surfaced")
+	}
+}
+
+func TestOpenCSVRoundtrip(t *testing.T) {
+	header, records := houseRecords()
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, rec := range records {
+		b.WriteString(strings.Join(rec, ","))
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "houses.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := metainsight.OpenCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "houses" || tab.Rows() != len(records) {
+		t.Fatalf("loaded %q with %d rows", tab.Name(), tab.Rows())
+	}
+	if tab.Dimension("Month") == nil || len(tab.TemporalDimensions()) != 1 {
+		t.Error("Month not inferred temporal")
+	}
+}
+
+func TestReadCSVWithOverrides(t *testing.T) {
+	csv := "Code,V\n1,10\n2,20\n3,30\n"
+	tab, err := metainsight.ReadCSV(strings.NewReader(csv), "codes",
+		metainsight.WithColumnKind("Code", metainsight.Categorical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Dimension("Code") == nil {
+		t.Error("override ignored")
+	}
+}
+
+func TestAnalyzerBudgetsAndAblations(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost budget: deterministic and progressive.
+	a1, err := metainsight.NewAnalyzer(tab, metainsight.WithCostBudget(30), metainsight.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := a1.Mine()
+	a2, err := metainsight.NewAnalyzer(tab, metainsight.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := a2.Mine()
+	if len(small.MetaInsights) > len(full.MetaInsights) {
+		t.Error("budgeted run found more than the full run")
+	}
+	// Ablation options must not change the unbudgeted result set.
+	a3, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithoutQueryCache(),
+		metainsight.WithoutPatternCache(),
+		metainsight.WithFIFOQueues(),
+		metainsight.WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated := a3.Mine()
+	if len(ablated.MetaInsights) != len(full.MetaInsights) {
+		t.Errorf("ablations changed results: %d vs %d", len(ablated.MetaInsights), len(full.MetaInsights))
+	}
+	if ablated.Stats.ExecutedQueries <= full.Stats.ExecutedQueries {
+		t.Error("disabling the caches should execute more queries")
+	}
+}
+
+func TestWithTimeBudgetStops(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := metainsight.NewAnalyzer(tab, metainsight.WithTimeBudget(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	a.Mine()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("time budget ignored: ran %v", elapsed)
+	}
+}
+
+func TestWithTauChangesAcceptance(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := metainsight.NewAnalyzer(tab, metainsight.WithTau(0.7), metainsight.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := metainsight.NewAnalyzer(tab, metainsight.WithTau(0.3), metainsight.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, nl := len(strict.Mine().MetaInsights), len(loose.Mine().MetaInsights)
+	if ns > nl {
+		t.Errorf("τ=0.7 found %d, τ=0.3 found %d — higher τ must be a subset", ns, nl)
+	}
+}
+
+func TestNewAnalyzerRejectsBadConfig(t *testing.T) {
+	header, records := houseRecords()
+	tab, _ := metainsight.FromRecords("houses", header, records)
+	if _, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithImpactMeasure(metainsight.Avg("Sales"))); err == nil {
+		t.Error("non-additive impact measure accepted")
+	}
+	if _, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Nope"))); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestDescribeHelpers(t *testing.T) {
+	header, records := houseRecords()
+	tab, _ := metainsight.FromRecords("houses", header, records)
+	a, err := metainsight.NewAnalyzer(tab, metainsight.WithMeasures(metainsight.Sum("Sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Mine()
+	if len(res.MetaInsights) == 0 {
+		t.Fatal("no results")
+	}
+	mi := res.MetaInsights[0]
+	if metainsight.Describe(mi) == "" {
+		t.Error("empty description")
+	}
+	if len(metainsight.FlatListOf(mi)) == 0 {
+		t.Error("empty flat list")
+	}
+}
+
+func TestCustomPatternTypeEndToEnd(t *testing.T) {
+	// A domain-specific "quarter-end spike" type: the measure at months
+	// 3, 6, 9, 12 is at least double the other months' average. Most product
+	// lines in this dataset follow it; one does not.
+	header := []string{"Line", "Month", "Revenue"}
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	var records [][]string
+	add := func(line string, quarterEnd bool) {
+		for m := range months {
+			v := 100.0
+			if quarterEnd && (m+1)%3 == 0 {
+				v = 400
+			}
+			if !quarterEnd {
+				v = 100 + 10*float64(m%5)
+			}
+			records = append(records, []string{line, months[m], strconv.FormatFloat(v, 'f', -1, 64)})
+		}
+	}
+	for _, line := range []string{"Enterprise", "SMB", "Consumer", "Education"} {
+		add(line, true)
+	}
+	add("Government", false)
+
+	tab, err := metainsight.FromRecords("revenue", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarterEnd := metainsight.CustomPattern{
+		Name:         "Quarter-End Spike",
+		TemporalOnly: true,
+		Evaluate: func(keys []string, values []float64) metainsight.PatternEvaluation {
+			if len(values) != 12 {
+				return metainsight.PatternEvaluation{}
+			}
+			spike, base := 0.0, 0.0
+			for i, v := range values {
+				if (i+1)%3 == 0 {
+					spike += v / 4
+				} else {
+					base += v / 8
+				}
+			}
+			if base <= 0 || spike < 2*base {
+				return metainsight.PatternEvaluation{}
+			}
+			return metainsight.PatternEvaluation{
+				Valid:     true,
+				Highlight: metainsight.Highlight{Label: "quarter-end"},
+				Strength:  spike / base / 4,
+			}
+		},
+	}
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Revenue")),
+		metainsight.WithCustomPatternTypes(quarterEnd),
+		metainsight.WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := a.Mine()
+	var found *metainsight.Insight
+	for _, in := range a.Rank(result, 20) {
+		if strings.Contains(in.Description(), "Quarter-End Spike") {
+			found = in
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("custom-type MetaInsight not mined or not named in the description")
+	}
+	mi := found.MetaInsight()
+	if len(mi.CommSet) != 1 || len(mi.CommSet[0].Indices) != 4 {
+		t.Errorf("commonness = %+v", mi.CommSet)
+	}
+	if !mi.HasExceptions() {
+		t.Error("Government exception lost")
+	}
+}
+
+func TestInsightMarshalJSON(t *testing.T) {
+	header, records := houseRecords()
+	tab, _ := metainsight.FromRecords("houses", header, records)
+	insights, err := metainsight.Analyze(tab, 3,
+		metainsight.WithMeasures(metainsight.Sum("Sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insights) == 0 {
+		t.Fatal("no insights")
+	}
+	data, err := json.Marshal(insights[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"key", "type", "extension", "score", "description", "commonnesses"} {
+		if _, ok := doc[field]; !ok {
+			t.Errorf("JSON missing %q: %s", field, data)
+		}
+	}
+	if commons, ok := doc["commonnesses"].([]any); !ok || len(commons) == 0 {
+		t.Error("JSON commonnesses empty")
+	}
+}
+
+func TestWithProgressStreamsDiscoveries(t *testing.T) {
+	header, records := houseRecords()
+	tab, _ := metainsight.FromRecords("houses", header, records)
+	var mu sync.Mutex
+	var streamed []string
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales")),
+		metainsight.WithProgress(func(mi *metainsight.MetaInsight) {
+			mu.Lock()
+			streamed = append(streamed, mi.Key())
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := a.Mine()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(streamed) != len(result.MetaInsights) {
+		t.Fatalf("streamed %d of %d discoveries", len(streamed), len(result.MetaInsights))
+	}
+	final := map[string]bool{}
+	for _, mi := range result.MetaInsights {
+		final[mi.Key()] = true
+	}
+	for _, k := range streamed {
+		if !final[k] {
+			t.Errorf("streamed key %q not in final results", k)
+		}
+	}
+}
+
+func TestProgressiveRankerDuringMining(t *testing.T) {
+	header, records := houseRecords()
+	tab, _ := metainsight.FromRecords("houses", header, records)
+	prog := metainsight.NewProgressiveRanker(3)
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales")),
+		metainsight.WithProgress(prog.Add),
+		metainsight.WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := a.Mine()
+	if prog.Added() != len(result.MetaInsights) {
+		t.Fatalf("progressive saw %d of %d discoveries", prog.Added(), len(result.MetaInsights))
+	}
+	top := prog.TopK()
+	if len(top) == 0 {
+		t.Fatal("empty progressive suggestion")
+	}
+	for _, mi := range top {
+		if metainsight.Describe(mi) == "" {
+			t.Error("empty description from progressive suggestion")
+		}
+	}
+}
+
+func TestBreakdownExtensionAcrossDerivedGranularities(t *testing.T) {
+	// Daily sales with a mid-year slump: after deriving the temporal
+	// hierarchy, the slump shows up at several granularities and the miner
+	// produces a breakdown-extended MetaInsight spanning them (the paper's
+	// Exd_b example: "sales over Day, Week and Month").
+	header := []string{"Store", "Date", "Sales"}
+	var records [][]string
+	day := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 364; i++ {
+		v := 100.0
+		if m := day.Month(); m >= 5 && m <= 7 {
+			v = 30 // the slump
+		}
+		records = append(records, []string{
+			[]string{"North", "South"}[i%2],
+			day.Format("2006-01-02"),
+			strconv.FormatFloat(v, 'f', -1, 64),
+		})
+		day = day.AddDate(0, 0, 1)
+	}
+	tab, err := metainsight.FromRecords("daily", header, records,
+		metainsight.WithColumnKind("Date", metainsight.Temporal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err = metainsight.DeriveTemporal(tab, "Date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales")),
+		metainsight.WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := a.Mine()
+	found := false
+	for _, mi := range result.MetaInsights {
+		if mi.HDP.HDS.Kind != model.ExtendBreakdown {
+			continue
+		}
+		breakdowns := map[string]bool{}
+		for _, dp := range mi.HDP.Patterns {
+			breakdowns[dp.Scope.Breakdown] = true
+		}
+		if len(breakdowns) >= 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no breakdown-extended MetaInsight across derived granularities")
+	}
+}
+
+func TestWriteReportEndToEnd(t *testing.T) {
+	header, records := houseRecords()
+	tab, _ := metainsight.FromRecords("houses", header, records)
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales")),
+		metainsight.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := a.Rank(a.Mine(), 3)
+	var buf strings.Builder
+	if err := a.WriteReport(&buf, top, "Houses"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Houses") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "```") || !strings.Contains(out, "▁") {
+		t.Error("sparklines missing")
+	}
+	if !strings.Contains(out, "San Diego") {
+		t.Error("exception member missing")
+	}
+}
+
+func TestCorrelationPatternsEndToEnd(t *testing.T) {
+	// Most cities' Profit tracks Sales over the months; one city's margin
+	// collapses whenever sales rise (negative correlation) — the planted
+	// highlight-change exception for the Correlation(SUM(Sales),SUM(Profit))
+	// pattern type.
+	header := []string{"City", "Month", "Sales", "Profit"}
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	sales := []float64{80, 95, 60, 120, 105, 70, 130, 90, 110, 65, 100, 85}
+	var records [][]string
+	add := func(city string, sign float64) {
+		for m, s := range sales {
+			profit := sign * s * 0.2
+			records = append(records, []string{
+				city, months[m],
+				strconv.FormatFloat(s, 'f', -1, 64),
+				strconv.FormatFloat(profit, 'f', -1, 64),
+			})
+		}
+	}
+	for _, city := range []string{"LA", "SF", "SJ", "Oakland", "Sacramento"} {
+		add(city, 1)
+	}
+	add("Fresno", -1)
+
+	tab, err := metainsight.FromRecords("margin", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales"), metainsight.Sum("Profit")),
+		metainsight.WithCorrelationPatterns([2]metainsight.Measure{
+			metainsight.Sum("Sales"), metainsight.Sum("Profit"),
+		}),
+		metainsight.WithWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := a.Mine()
+	corrType := metainsight.CustomPatternType(0)
+	var found *metainsight.MetaInsight
+	for _, mi := range result.MetaInsights {
+		if mi.HDP.HDS.Kind == model.ExtendSubspace && mi.HDP.HDS.ExtDim == "City" &&
+			mi.HDP.Type == corrType {
+			found = mi
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("correlation MetaInsight over City not mined")
+	}
+	if len(found.CommSet) != 1 || found.CommSet[0].Highlight.Label != "positive" {
+		t.Errorf("commonness = %+v", found.CommSet)
+	}
+	if len(found.CommSet[0].Indices) != 5 {
+		t.Errorf("commonness covers %d cities", len(found.CommSet[0].Indices))
+	}
+	// Fresno is a highlight-change exception: correlation holds, negatively.
+	var fresno bool
+	for _, e := range found.Exceptions {
+		dp := found.HDP.Patterns[e.Index]
+		if city, _ := dp.Scope.Subspace.Get("City"); city == "Fresno" {
+			fresno = true
+			if e.Category != 0 { // core.HighlightChange
+				t.Errorf("Fresno categorized as %v", e.Category)
+			}
+			if dp.Highlight.Label != "negative" {
+				t.Errorf("Fresno highlight = %v", dp.Highlight)
+			}
+		}
+	}
+	if !fresno {
+		t.Error("Fresno exception missing")
+	}
+	// Through the ranked Insight view the custom type renders by name.
+	named := false
+	for _, in := range a.Rank(result, 25) {
+		if strings.Contains(in.Description(), "Correlation(SUM(Sales), SUM(Profit))") {
+			named = true
+			break
+		}
+	}
+	if !named {
+		t.Error("ranked description does not name the correlation type")
+	}
+}
