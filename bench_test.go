@@ -6,6 +6,7 @@
 package metainsight_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -372,6 +373,17 @@ func BenchmarkMinerWorkers4(b *testing.B) { benchWorkers(b, 4) }
 
 // BenchmarkMinerWorkers8 matches the paper's 8 worker threads.
 func BenchmarkMinerWorkers8(b *testing.B) { benchWorkers(b, 8) }
+
+// BenchmarkParallelScaling runs the same unbudgeted Tablet Sales mining run
+// at 1/2/4/8 workers as sub-benchmarks, so a single invocation reports the
+// whole scaling curve. Results and accounting are identical at every width
+// (single-flight execution + canonical-order commit), so the deltas are pure
+// wall-clock.
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchWorkers(b, w) })
+	}
+}
 
 // BenchmarkTable1 regenerates the Table 1 / Appendix 9.1 pattern-type
 // exemplars.

@@ -8,6 +8,10 @@
 //	experiments -run fig6,table4
 //
 // Experiments: fig6, fig7, table3, table4, table5, fig8, fig12, icube.
+//
+// The extra "smoke" target is a fast CI check: a short-budget run that
+// verifies Workers=1 and Workers=8 produce identical results and accounting,
+// exiting non-zero on any mismatch. It is not part of "all".
 package main
 
 import (
@@ -22,7 +26,7 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiments to run (table1, fig6, fig7, table3, table4, table5, fig8, fig12, icube, discussion, pruning) or 'all'")
+		run  = flag.String("run", "all", "comma-separated experiments to run (table1, fig6, fig7, table3, table4, table5, fig8, fig12, icube, discussion, pruning, smoke) or 'all'")
 		seed = flag.Int64("seed", 20210620, "rater-model seed for fig8")
 	)
 	flag.Parse()
@@ -56,6 +60,14 @@ func main() {
 	runOne("icube", func() { experiments.ICubeComparison(w, 100) })
 	runOne("discussion", func() { experiments.Discussion(w, 200, *seed) })
 	runOne("pruning", func() { experiments.PruningDefault(w) })
+	if want["smoke"] {
+		runOne("smoke", func() {
+			if err := experiments.Smoke(w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		})
+	}
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)

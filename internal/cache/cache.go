@@ -4,6 +4,11 @@
 // (Figure 5), and the pattern cache, which memoizes data-pattern evaluation
 // results keyed by data scope (Section 4.2.3). Both caches expose hit-rate
 // and size statistics, reproduced in the paper's Table 3.
+//
+// Both caches are sharded by key hash so the paper's 8 worker threads do not
+// serialize on a single lock on the hot path, and the package provides a
+// generic single-flight group (Flight) used to coalesce concurrent misses on
+// the same key into one computation.
 package cache
 
 import (
@@ -11,10 +16,38 @@ import (
 	"sync/atomic"
 )
 
+// shardCount is the number of lock shards per cache. 16 comfortably exceeds
+// the paper's 8 workers, keeping the expected number of workers contending
+// on any one shard below one.
+const shardCount = 16
+
 // UnitKey identifies one query-cache unit.
 type UnitKey struct {
 	Subspace  string // canonical subspace key (model.Subspace.Key)
 	Breakdown string // breakdown dimension name
+}
+
+// hash returns an FNV-1a hash of the key for shard selection.
+func (k UnitKey) hash() uint64 {
+	h := fnv1a(k.Subspace)
+	h = (h ^ 0xff) * fnvPrime
+	for i := 0; i < len(k.Breakdown); i++ {
+		h = (h ^ uint64(k.Breakdown[i])) * fnvPrime
+	}
+	return h
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnv1a(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
 }
 
 // Unit is one query-cache entry: the aggregation of every measure column of
@@ -68,13 +101,20 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// QueryCache stores query-cache units. A disabled cache (see New) counts
-// every lookup as a miss and drops every Put, which is how the paper's
-// "w/o Query Cache" ablation is run. QueryCache is safe for concurrent use.
+// qcShard is one lock shard of a QueryCache.
+type qcShard struct {
+	mu    sync.RWMutex
+	units map[UnitKey]*Unit
+}
+
+// QueryCache stores query-cache units, sharded by key hash so concurrent
+// workers do not serialize on one global lock. A disabled cache (see
+// NewQueryCache) counts every lookup as a miss and drops every Put, which is
+// how the paper's "w/o Query Cache" ablation is run. QueryCache is safe for
+// concurrent use.
 type QueryCache struct {
 	enabled bool
-	mu      sync.RWMutex
-	units   map[UnitKey]*Unit
+	shards  [shardCount]qcShard
 	hits    atomic.Int64
 	misses  atomic.Int64
 	bytes   atomic.Int64
@@ -83,11 +123,27 @@ type QueryCache struct {
 // NewQueryCache creates a query cache. If enabled is false the cache is a
 // no-op that still counts misses, for ablation experiments.
 func NewQueryCache(enabled bool) *QueryCache {
-	return &QueryCache{enabled: enabled, units: make(map[UnitKey]*Unit)}
+	c := &QueryCache{enabled: enabled}
+	for i := range c.shards {
+		c.shards[i].units = make(map[UnitKey]*Unit)
+	}
+	return c
 }
 
 // Enabled reports whether the cache stores anything.
 func (c *QueryCache) Enabled() bool { return c.enabled }
+
+func (c *QueryCache) shard(k UnitKey) *qcShard {
+	return &c.shards[k.hash()%shardCount]
+}
+
+func (c *QueryCache) lookup(k UnitKey) (*Unit, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	u, ok := s.units[k]
+	s.mu.RUnlock()
+	return u, ok
+}
 
 // Get looks up the unit for (subspace, breakdown), counting a hit or miss.
 func (c *QueryCache) Get(subspace, breakdown string) (*Unit, bool) {
@@ -95,9 +151,7 @@ func (c *QueryCache) Get(subspace, breakdown string) (*Unit, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	c.mu.RLock()
-	u, ok := c.units[UnitKey{Subspace: subspace, Breakdown: breakdown}]
-	c.mu.RUnlock()
+	u, ok := c.lookup(UnitKey{Subspace: subspace, Breakdown: breakdown})
 	if ok {
 		c.hits.Add(1)
 		return u, true
@@ -112,10 +166,7 @@ func (c *QueryCache) Peek(subspace, breakdown string) (*Unit, bool) {
 	if !c.enabled {
 		return nil, false
 	}
-	c.mu.RLock()
-	u, ok := c.units[UnitKey{Subspace: subspace, Breakdown: breakdown}]
-	c.mu.RUnlock()
-	return u, ok
+	return c.lookup(UnitKey{Subspace: subspace, Breakdown: breakdown})
 }
 
 // Put stores a unit, replacing any previous entry with the same key.
@@ -123,20 +174,44 @@ func (c *QueryCache) Put(u *Unit) {
 	if !c.enabled {
 		return
 	}
-	c.mu.Lock()
-	if old, ok := c.units[u.Key]; ok {
+	s := c.shard(u.Key)
+	s.mu.Lock()
+	if old, ok := s.units[u.Key]; ok {
 		c.bytes.Add(-old.ApproxBytes())
 	}
-	c.units[u.Key] = u
-	c.mu.Unlock()
+	s.units[u.Key] = u
+	s.mu.Unlock()
 	c.bytes.Add(u.ApproxBytes())
+}
+
+// Snapshot returns the keys currently stored with their approximate sizes.
+// The miner seeds its canonical accounting from it at the start of a run, so
+// a warm cache shared across runs is credited with the hits it will serve.
+func (c *QueryCache) Snapshot() map[UnitKey]int64 {
+	out := make(map[UnitKey]int64)
+	if !c.enabled {
+		return out
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, u := range s.units {
+			out[k] = u.ApproxBytes()
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *QueryCache) Stats() Stats {
-	c.mu.RLock()
-	entries := int64(len(c.units))
-	c.mu.RUnlock()
+	var entries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		entries += int64(len(s.units))
+		s.mu.RUnlock()
+	}
 	return Stats{
 		Hits:    c.hits.Load(),
 		Misses:  c.misses.Load(),
@@ -145,14 +220,20 @@ func (c *QueryCache) Stats() Stats {
 	}
 }
 
-// PatternCache memoizes values of type V keyed by string (MetaInsight keys
-// pattern evaluations by data scope). A disabled cache counts misses and
-// stores nothing, matching the "w/o Pattern Cache" ablation. PatternCache is
-// safe for concurrent use.
-type PatternCache[V any] struct {
-	enabled bool
+// pcShard is one lock shard of a PatternCache.
+type pcShard[V any] struct {
 	mu      sync.RWMutex
 	entries map[string]V
+}
+
+// PatternCache memoizes values of type V keyed by string (MetaInsight keys
+// pattern evaluations by data scope), sharded by key hash. A disabled cache
+// counts misses and stores nothing, matching the "w/o Pattern Cache"
+// ablation. PatternCache is safe for concurrent use.
+type PatternCache[V any] struct {
+	enabled bool
+	shards  [shardCount]pcShard[V]
+	flight  Flight[string, V]
 	hits    atomic.Int64
 	misses  atomic.Int64
 }
@@ -160,11 +241,27 @@ type PatternCache[V any] struct {
 // NewPatternCache creates a pattern cache; disabled caches are no-ops that
 // still count misses.
 func NewPatternCache[V any](enabled bool) *PatternCache[V] {
-	return &PatternCache[V]{enabled: enabled, entries: make(map[string]V)}
+	c := &PatternCache[V]{enabled: enabled}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]V)
+	}
+	return c
 }
 
 // Enabled reports whether the cache stores anything.
 func (c *PatternCache[V]) Enabled() bool { return c.enabled }
+
+func (c *PatternCache[V]) shard(key string) *pcShard[V] {
+	return &c.shards[fnv1a(key)%shardCount]
+}
+
+func (c *PatternCache[V]) lookup(key string) (V, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	v, ok := s.entries[key]
+	s.mu.RUnlock()
+	return v, ok
+}
 
 // Get looks up key, counting a hit or miss.
 func (c *PatternCache[V]) Get(key string) (V, bool) {
@@ -173,10 +270,7 @@ func (c *PatternCache[V]) Get(key string) (V, bool) {
 		c.misses.Add(1)
 		return zero, false
 	}
-	c.mu.RLock()
-	v, ok := c.entries[key]
-	c.mu.RUnlock()
-	if ok {
+	if v, ok := c.lookup(key); ok {
 		c.hits.Add(1)
 		return v, true
 	}
@@ -184,22 +278,74 @@ func (c *PatternCache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Peek looks up key without touching the hit/miss counters.
+func (c *PatternCache[V]) Peek(key string) (V, bool) {
+	var zero V
+	if !c.enabled {
+		return zero, false
+	}
+	return c.lookup(key)
+}
+
 // Put stores key → v.
 func (c *PatternCache[V]) Put(key string, v V) {
 	if !c.enabled {
 		return
 	}
-	c.mu.Lock()
-	c.entries[key] = v
-	c.mu.Unlock()
+	s := c.shard(key)
+	s.mu.Lock()
+	s.entries[key] = v
+	s.mu.Unlock()
+}
+
+// Materialize returns the memoized value for key, computing and storing it
+// on a miss. Concurrent misses on the same key single-flight into one
+// compute call. It does not touch the hit/miss counters: the miner accounts
+// for pattern-cache traffic canonically at commit time, independent of the
+// physical interleaving. On a disabled cache every call computes.
+func (c *PatternCache[V]) Materialize(key string, compute func() V) V {
+	if !c.enabled {
+		return compute()
+	}
+	if v, ok := c.lookup(key); ok {
+		return v
+	}
+	v, _ := c.flight.Do(key, func() V {
+		v := compute()
+		c.Put(key, v)
+		return v
+	})
+	return v
+}
+
+// KeySet returns the set of keys currently stored. The miner seeds its
+// canonical accounting from it at the start of a run.
+func (c *PatternCache[V]) KeySet() map[string]struct{} {
+	out := make(map[string]struct{})
+	if !c.enabled {
+		return out
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k := range s.entries {
+			out[k] = struct{}{}
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // Stats returns a snapshot of the cache counters. Bytes is left zero; the
 // pattern cache is reported by entry count in Table 3.
 func (c *PatternCache[V]) Stats() Stats {
-	c.mu.RLock()
-	entries := int64(len(c.entries))
-	c.mu.RUnlock()
+	var entries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		entries += int64(len(s.entries))
+		s.mu.RUnlock()
+	}
 	return Stats{
 		Hits:    c.hits.Load(),
 		Misses:  c.misses.Load(),

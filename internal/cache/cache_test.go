@@ -2,8 +2,11 @@ package cache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func unit(sub, breakdown string, groups int) *Unit {
@@ -136,5 +139,196 @@ func TestQueryCacheConcurrency(t *testing.T) {
 	}
 	if st.Hits+st.Misses != 8*200 {
 		t.Errorf("lookups = %d", st.Hits+st.Misses)
+	}
+}
+
+func TestFlightCoalescesConcurrentCalls(t *testing.T) {
+	var f Flight[string, int]
+	var computed atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	leaders := make([]bool, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], leaders[0] = f.Do("k", func() int {
+			close(started)
+			<-release
+			computed.Add(1)
+			return 7
+		})
+	}()
+	<-started
+	var entered atomic.Int64
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entered.Add(1)
+			results[i], leaders[i] = f.Do("k", func() int {
+				computed.Add(1)
+				return 7
+			})
+		}(i)
+	}
+	// Park every follower inside Do before releasing the leader: on a
+	// single-P scheduler the spawned goroutines may not run until this
+	// goroutine blocks, and if the leader finished first the key would be
+	// forgotten and every "follower" would lead its own flight.
+	for entered.Load() < 7 {
+		runtime.Gosched()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computed.Load(); n != 1 {
+		t.Errorf("fn executed %d times, want 1", n)
+	}
+	nLeaders := 0
+	for i := range results {
+		if results[i] != 7 {
+			t.Errorf("result[%d] = %d", i, results[i])
+		}
+		if leaders[i] {
+			nLeaders++
+		}
+	}
+	if nLeaders != 1 {
+		t.Errorf("leaders = %d, want 1", nLeaders)
+	}
+}
+
+func TestFlightForgetsCompletedKeys(t *testing.T) {
+	var f Flight[string, int]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, leader := f.Do("k", func() int { calls++; return calls })
+		if !leader {
+			t.Fatalf("call %d was not leader", i)
+		}
+		if v != i+1 {
+			t.Fatalf("call %d returned %d", i, v)
+		}
+	}
+}
+
+func TestQueryCacheSnapshot(t *testing.T) {
+	c := NewQueryCache(true)
+	a, b := unit("s1", "b", 3), unit("s2", "b", 5)
+	c.Put(a)
+	c.Put(b)
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	if snap[a.Key] != a.ApproxBytes() || snap[b.Key] != b.ApproxBytes() {
+		t.Errorf("snapshot sizes = %v", snap)
+	}
+	if got := NewQueryCache(false).Snapshot(); len(got) != 0 {
+		t.Errorf("disabled snapshot = %v", got)
+	}
+}
+
+func TestPatternCachePeekDoesNotCount(t *testing.T) {
+	c := NewPatternCache[int](true)
+	c.Put("k", 1)
+	if _, ok := c.Peek("k"); !ok {
+		t.Fatal("peek missed stored key")
+	}
+	if _, ok := c.Peek("absent"); ok {
+		t.Fatal("peek hit absent key")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("peek touched counters: %+v", st)
+	}
+}
+
+func TestPatternCacheMaterialize(t *testing.T) {
+	c := NewPatternCache[int](true)
+	calls := 0
+	compute := func() int { calls++; return 9 }
+	if v := c.Materialize("k", compute); v != 9 {
+		t.Fatalf("materialize = %d", v)
+	}
+	if v := c.Materialize("k", compute); v != 9 {
+		t.Fatalf("second materialize = %d", v)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1 (memoized)", calls)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 1 {
+		t.Errorf("materialize stats = %+v", st)
+	}
+
+	// Disabled cache computes every time and stores nothing.
+	d := NewPatternCache[int](false)
+	calls = 0
+	d.Materialize("k", compute)
+	d.Materialize("k", compute)
+	if calls != 2 {
+		t.Errorf("disabled materialize computed %d times, want 2", calls)
+	}
+}
+
+func TestPatternCacheMaterializeConcurrent(t *testing.T) {
+	c := NewPatternCache[int](true)
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%7)
+				v := c.Materialize(key, func() int {
+					computed.Add(1)
+					return i % 7
+				})
+				_ = v
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 7 {
+		t.Errorf("entries = %d", st.Entries)
+	}
+	// Each key computes at least once; coalescing keeps duplicates rare but
+	// a leader finishing before a racer looks up can recompute, so only the
+	// lower bound is guaranteed alongside memoization of completed entries.
+	if computed.Load() < 7 {
+		t.Errorf("computed = %d, want >= 7", computed.Load())
+	}
+}
+
+func TestPatternCacheKeySet(t *testing.T) {
+	c := NewPatternCache[int](true)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	ks := c.KeySet()
+	if len(ks) != 2 {
+		t.Fatalf("keyset = %v", ks)
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, ok := ks[k]; !ok {
+			t.Errorf("keyset missing %q", k)
+		}
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// Keys spread across shards: with 500 distinct keys and 16 shards, every
+	// shard should receive at least one key (collision into few shards would
+	// recreate the global-lock hot path this cache is sharded to avoid).
+	seen := make(map[uint64]bool)
+	for i := 0; i < 500; i++ {
+		k := UnitKey{Subspace: fmt.Sprintf("city=c%d", i), Breakdown: "month"}
+		seen[k.hash()%shardCount] = true
+	}
+	if len(seen) != shardCount {
+		t.Errorf("keys landed in %d/%d shards", len(seen), shardCount)
 	}
 }

@@ -1,0 +1,52 @@
+package cache
+
+import "sync"
+
+// Flight is a generic single-flight group: concurrent Do calls with the same
+// key coalesce into one execution of fn. The first caller for a key (the
+// leader) runs fn; callers that arrive while it is running (followers) block
+// until the leader finishes and share its result. Once the leader completes,
+// the key is forgotten, so a later Do runs fn again — lasting memoization is
+// the cache's job, not the flight group's.
+//
+// The miner's worker pool uses flight groups around the query and pattern
+// caches so that two workers missing the cache on the same key never both
+// scan the table: exactly one scan per key executes no matter how many
+// workers race for it, which is what keeps executed-query counts identical
+// across worker counts (Section 4.2's accounting assumes a query runs at
+// most once per unit).
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// Do returns fn()'s value for key, executing fn at most once across
+// concurrent callers. The boolean reports whether this caller was the leader
+// (executed fn) rather than a follower (waited for the leader's result).
+func (f *Flight[K, V]) Do(key K, fn func() V) (V, bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, false
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val = fn()
+	close(c.done)
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	return c.val, true
+}

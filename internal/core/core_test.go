@@ -540,3 +540,34 @@ func TestBuildMetaInsightProportionsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScoreParamsWithDefaults(t *testing.T) {
+	def := DefaultScoreParams()
+
+	// Zero value: every field defaulted.
+	if got := (ScoreParams{}).WithDefaults(); got != def {
+		t.Errorf("zero WithDefaults = %+v, want %+v", got, def)
+	}
+
+	// Partial override: set fields kept, unset fields filled per-field —
+	// not all-or-nothing.
+	got := ScoreParams{Tau: 0.6}.WithDefaults()
+	want := def
+	want.Tau = 0.6
+	if got != want {
+		t.Errorf("partial WithDefaults = %+v, want %+v", got, want)
+	}
+	got = ScoreParams{K: 5, Gamma: 0.2}.WithDefaults()
+	want = def
+	want.K = 5
+	want.Gamma = 0.2
+	if got != want {
+		t.Errorf("partial WithDefaults = %+v, want %+v", got, want)
+	}
+
+	// Fully specified params pass through untouched.
+	full := ScoreParams{Tau: 0.7, K: 4, R: 2, Gamma: 0.3}
+	if got := full.WithDefaults(); got != full {
+		t.Errorf("full WithDefaults = %+v, want %+v", got, full)
+	}
+}

@@ -27,6 +27,29 @@ func DefaultScoreParams() ScoreParams {
 	return ScoreParams{Tau: 0.5, K: 3, R: 1, Gamma: 0.1}
 }
 
+// WithDefaults returns p with every unset (zero) field replaced by its
+// paper default, so a caller who overrides only Tau does not silently zero
+// the actionability and impact terms of Equation 18. A zero value for any
+// field is never meaningful: τ = 0 accepts everything as commonness, k = 0
+// leaves no exception categories, r = 0 erases exceptions from Equation 13,
+// and γ = 0 removes the no-exception penalty — none are sensible settings.
+func (p ScoreParams) WithDefaults() ScoreParams {
+	def := DefaultScoreParams()
+	if p.Tau == 0 {
+		p.Tau = def.Tau
+	}
+	if p.K == 0 {
+		p.K = def.K
+	}
+	if p.R == 0 {
+		p.R = def.R
+	}
+	if p.Gamma == 0 {
+		p.Gamma = def.Gamma
+	}
+	return p
+}
+
 // EntropyS computes S of Equation 13 in bits:
 //
 //	S = −( Σ αᵢ·log₂ αᵢ + r·Σ βⱼ·log₂ βⱼ )

@@ -68,6 +68,16 @@ func (m *Meter) ServedQueries() int64 { return m.served.Load() }
 // AugmentedQueries returns how many executed queries were augmented scans.
 func (m *Meter) AugmentedQueries() int64 { return m.augmented.Load() }
 
+// AddExecuted adds n to the executed-query count. The miner uses it to apply
+// canonically-ordered accounting computed outside the engine's metered paths.
+func (m *Meter) AddExecuted(n int64) { m.executed.Add(n) }
+
+// AddServed adds n to the cache-served query count.
+func (m *Meter) AddServed(n int64) { m.served.Add(n) }
+
+// AddAugmented adds n to the augmented-query count.
+func (m *Meter) AddAugmented(n int64) { m.augmented.Add(n) }
+
 // Series is the result of a basic query: the raw data distribution of a data
 // scope (aggregate values of the measure over the breakdown's sibling group).
 // Groups with no records are omitted; Keys is in domain order.
@@ -80,7 +90,27 @@ type Series struct {
 // Len returns the number of groups in the series.
 func (s *Series) Len() int { return len(s.Keys) }
 
-// Engine executes queries for one table against one measure set.
+// augKey identifies one augmented scan: the paper's AugmentedQuery(ds, d) is
+// one scan filtered by ds.Subspace \ d, grouped by (ds.Breakdown, d).
+type augKey struct {
+	base      string // key of ds.Subspace.Without(d)
+	breakdown string
+	ext       string // the augmentation dimension d
+}
+
+// unitRes is a metered unit-flight result: the unit plus whether this flight
+// actually scanned (false when a concurrent leader's Put was found by the
+// double-check, in which case the caller counts as served).
+type unitRes struct {
+	u       *cache.Unit
+	scanned bool
+}
+
+// Engine executes queries for one table against one measure set. All query
+// paths are safe for concurrent use: concurrent cache misses on the same key
+// coalesce into a single scan via per-path single-flight groups, so a query
+// is executed at most once per unit no matter how many workers race for it
+// (the at-most-once assumption behind the paper's Fig 7 / Table 3 counts).
 type Engine struct {
 	tab      *dataset.Table
 	measures []model.Measure
@@ -89,6 +119,14 @@ type Engine struct {
 	cost     CostModel
 	meter    *Meter
 	totalImp float64
+
+	// Single-flight groups. Metered and quiet paths use separate groups: a
+	// quiet follower piggybacking on a metered leader (or vice versa) would
+	// blur which path paid for the scan.
+	meteredUnits cache.Flight[cache.UnitKey, unitRes]
+	meteredAug   cache.Flight[augKey, map[string]*cache.Unit]
+	quietUnits   cache.Flight[cache.UnitKey, *cache.Unit]
+	quietAug     cache.Flight[augKey, map[string]*cache.Unit]
 }
 
 // Config configures an Engine.
@@ -194,24 +232,24 @@ func (e *Engine) TotalImpact() float64 { return e.totalImp }
 // BasicQuery answers the paper's BasicQuery(ds): the aggregate of
 // ds.Measure grouped by ds.Breakdown under ds.Subspace (Table 2, row 1).
 // The result is served from the query cache when possible; a miss scans the
-// table once, producing (and caching) the full all-measures unit.
+// table once, producing (and caching) the full all-measures unit. Concurrent
+// misses on the same unit coalesce: one scan executes and is charged, the
+// other callers are accounted as cache-served.
 func (e *Engine) BasicQuery(ds model.DataScope) (*Series, error) {
 	if err := e.tab.Validate(ds); err != nil {
 		return nil, err
 	}
-	unit, ok := e.qc.Get(ds.Subspace.Key(), ds.Breakdown)
-	if ok {
-		e.meter.served.Add(1)
-		return extract(unit, ds)
+	unit, err := e.Unit(ds.Subspace, ds.Breakdown)
+	if err != nil {
+		return nil, err
 	}
-	unit = e.scanUnit(ds.Subspace, ds.Breakdown)
-	e.qc.Put(unit)
 	return extract(unit, ds)
 }
 
 // Unit returns the full query-cache unit for (subspace, breakdown),
 // executing a scan on a cache miss. Callers that need several measures of
-// the same scope use this to avoid repeated extraction lookups.
+// the same scope use this to avoid repeated extraction lookups. Concurrent
+// misses single-flight into one charged scan; followers count as served.
 func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, error) {
 	if e.tab.Dimension(breakdown) == nil {
 		return nil, fmt.Errorf("engine: unknown breakdown dimension %q", breakdown)
@@ -221,9 +259,39 @@ func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, e
 		e.meter.served.Add(1)
 		return unit, nil
 	}
-	unit = e.scanUnit(subspace, breakdown)
-	e.qc.Put(unit)
-	return unit, nil
+	key := cache.UnitKey{Subspace: subspace.Key(), Breakdown: breakdown}
+	res, leader := e.meteredUnits.Do(key, func() unitRes {
+		// Double-check under the flight: a previous leader may have cached
+		// the unit between this caller's miss and its flight entry.
+		if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
+			return unitRes{u: u}
+		}
+		u, scanned := e.scanUnit(subspace, breakdown)
+		e.meter.executed.Add(1)
+		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
+		e.qc.Put(u)
+		return unitRes{u: u, scanned: true}
+	})
+	if !leader || !res.scanned {
+		e.meter.served.Add(1)
+	}
+	return res.u, nil
+}
+
+// CheckAugmented validates an AugmentedQuery(ds, d) request without running
+// it: the scope must be valid, d must be a known dimension, and d must not
+// equal the breakdown.
+func (e *Engine) CheckAugmented(ds model.DataScope, d string) error {
+	if err := e.tab.Validate(ds); err != nil {
+		return err
+	}
+	if e.tab.Dimension(d) == nil {
+		return fmt.Errorf("engine: unknown augmentation dimension %q", d)
+	}
+	if d == ds.Breakdown {
+		return fmt.Errorf("engine: augmentation dimension %q equals the breakdown", d)
+	}
+	return nil
 }
 
 // AugmentedQuery answers the paper's AugmentedQuery(ds, d) (Table 2, row 2):
@@ -232,24 +300,112 @@ func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, e
 // SG(ds.Subspace, d) that has at least one record, keyed by the sibling's
 // value on d; each unit is also stored in the query cache, pre-fetching the
 // measure-extending and subspace-extending HDSs generated from ds.
+// Concurrent identical calls coalesce into one charged scan; followers count
+// as served.
 func (e *Engine) AugmentedQuery(ds model.DataScope, d string) (map[string]*cache.Unit, error) {
-	if err := e.tab.Validate(ds); err != nil {
+	if err := e.CheckAugmented(ds, d); err != nil {
 		return nil, err
 	}
-	dcol := e.tab.Dimension(d)
-	if dcol == nil {
-		return nil, fmt.Errorf("engine: unknown augmentation dimension %q", d)
-	}
-	if d == ds.Breakdown {
-		return nil, fmt.Errorf("engine: augmentation dimension %q equals the breakdown", d)
-	}
 	base := ds.Subspace.Without(d)
-	units := e.scanAugmented(base, ds.Breakdown, d)
-	for _, u := range units {
-		e.qc.Put(u)
+	key := augKey{base: base.Key(), breakdown: ds.Breakdown, ext: d}
+	units, leader := e.meteredAug.Do(key, func() map[string]*cache.Unit {
+		units, scanned := e.scanAugmented(base, ds.Breakdown, d)
+		e.meter.executed.Add(1)
+		e.meter.augmented.Add(1)
+		// One scan answers |dom(d)| sibling queries; charge a single round
+		// trip plus the scan, mirroring the paper's motivation for augmented
+		// queries.
+		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
+		for _, u := range units {
+			e.qc.Put(u)
+		}
+		return units
+	})
+	if !leader {
+		e.meter.served.Add(1)
 	}
 	return units, nil
 }
+
+// MaterializeUnit returns the unit for (subspace, breakdown) without touching
+// the meter or the cache's hit/miss counters: a cached unit is peeked, a
+// missing one is scanned (single-flighted) and stored. The miner's workers
+// use the Materialize* paths for all data access and account for the work
+// canonically at commit time, so the numbers reported for a run are
+// independent of worker count and physical interleaving.
+func (e *Engine) MaterializeUnit(subspace model.Subspace, breakdown string) (*cache.Unit, error) {
+	if e.tab.Dimension(breakdown) == nil {
+		return nil, fmt.Errorf("engine: unknown breakdown dimension %q", breakdown)
+	}
+	key := cache.UnitKey{Subspace: subspace.Key(), Breakdown: breakdown}
+	if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
+		return u, nil
+	}
+	u, _ := e.quietUnits.Do(key, func() *cache.Unit {
+		if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
+			return u // raced with another leader's Put
+		}
+		u, _ := e.scanUnit(subspace, breakdown)
+		e.qc.Put(u)
+		return u
+	})
+	return u, nil
+}
+
+// MaterializeBasic is the quiet (unmetered, uncounted) form of BasicQuery.
+func (e *Engine) MaterializeBasic(ds model.DataScope) (*Series, error) {
+	if err := e.tab.Validate(ds); err != nil {
+		return nil, err
+	}
+	u, err := e.MaterializeUnit(ds.Subspace, ds.Breakdown)
+	if err != nil {
+		return nil, err
+	}
+	return extract(u, ds)
+}
+
+// MaterializeAugmented is the quiet (unmetered, uncounted) form of
+// AugmentedQuery. The returned map's key set identifies exactly the
+// non-empty siblings, which callers use to distinguish "empty sibling" from
+// "not yet fetched".
+func (e *Engine) MaterializeAugmented(ds model.DataScope, d string) (map[string]*cache.Unit, error) {
+	if err := e.CheckAugmented(ds, d); err != nil {
+		return nil, err
+	}
+	base := ds.Subspace.Without(d)
+	key := augKey{base: base.Key(), breakdown: ds.Breakdown, ext: d}
+	units, _ := e.quietAug.Do(key, func() map[string]*cache.Unit {
+		units, _ := e.scanAugmented(base, ds.Breakdown, d)
+		for _, u := range units {
+			e.qc.Put(u)
+		}
+		return units
+	})
+	return units, nil
+}
+
+// ScanCost returns the metered cost a unit scan under subspace s would be
+// charged, without scanning: the per-query overhead plus the per-row cost of
+// the rows the scan plan would visit (the full table when s is unfiltered,
+// otherwise the most selective filter's posting list — see scanPlan). The
+// cost of a scan depends only on the subspace, not the breakdown, and an
+// augmented scan of base subspace b costs exactly ScanCost(b).
+func (e *Engine) ScanCost(s model.Subspace) float64 {
+	scanned := e.tab.Rows()
+	if len(s) > 0 {
+		best := e.tab.Rows() + 1
+		for _, f := range e.resolveFilters(s) {
+			if l := len(f.col.Postings(int(f.code))); l < best {
+				best = l
+			}
+		}
+		scanned = best
+	}
+	return e.cost.PerQuery + e.cost.PerRow*float64(scanned)
+}
+
+// EvaluationCost returns the metered cost of one data-pattern evaluation.
+func (e *Engine) EvaluationCost() float64 { return e.cost.PerEvaluation }
 
 // Impact returns Impact_ds for a subspace (Equation 2): the impact measure's
 // value on the subspace divided by its value on the whole dataset. The
@@ -269,22 +425,83 @@ func (e *Engine) Impact(s model.Subspace) (float64, error) {
 			return e.unitImpact(u) / e.totalImp, nil
 		}
 	}
-	// Fall back to a scan grouped by an arbitrary unfiltered dimension. If
-	// every dimension is filtered, grouping by a filtered one is still
-	// correct: the scan keeps the filter, so the unit holds exactly the one
-	// matching group.
-	breakdown := e.tab.DimensionNames()[0]
-	for _, dim := range e.tab.DimensionNames() {
-		if !s.Has(dim) {
-			breakdown = dim
-			break
-		}
-	}
-	u, err := e.Unit(s, breakdown)
+	u, err := e.Unit(s, e.impactFallbackDim(s))
 	if err != nil {
 		return 0, err
 	}
 	return e.unitImpact(u) / e.totalImp, nil
+}
+
+// impactFallbackDim picks the breakdown for an impact scan: the first
+// unfiltered dimension. If every dimension is filtered, grouping by a
+// filtered one is still correct: the scan keeps the filter, so the unit
+// holds exactly the one matching group.
+func (e *Engine) impactFallbackDim(s model.Subspace) string {
+	for _, dim := range e.tab.DimensionNames() {
+		if !s.Has(dim) {
+			return dim
+		}
+	}
+	return e.tab.DimensionNames()[0]
+}
+
+// ImpactProbe describes how an impact value was (or would canonically be)
+// obtained, so the miner can replay the lookup against its simulated cache:
+// if any probe unit is cached the value is free, otherwise the fallback unit
+// is scanned at Cost and enters the cache.
+type ImpactProbe struct {
+	// Subspace is the canonical key of the probed subspace.
+	Subspace string
+	// Probe lists the unfiltered breakdown dimensions, in table dimension
+	// order; a cached unit on any of them serves the impact value.
+	Probe []string
+	// Fallback is the unit scanned when no probe key is cached.
+	Fallback cache.UnitKey
+	// Cost is the analytic metered cost of the fallback scan (ScanCost).
+	Cost float64
+	// Bytes is the fallback unit's ApproxBytes when this call observed the
+	// unit, else 0. Best-effort: cache byte sizes are reporting-only.
+	Bytes int64
+}
+
+// ImpactUnmetered is the quiet form of Impact: it computes the impact value
+// without touching the meter or cache counters and returns an ImpactProbe
+// recording how the lookup would be charged. The probe is nil for the empty
+// subspace (impact 1 is free dataset metadata).
+func (e *Engine) ImpactUnmetered(s model.Subspace) (float64, *ImpactProbe, error) {
+	if len(s) == 0 {
+		return 1, nil, nil
+	}
+	probe := make([]string, 0, len(e.tab.DimensionNames()))
+	for _, dim := range e.tab.DimensionNames() {
+		if !s.Has(dim) {
+			probe = append(probe, dim)
+		}
+	}
+	p := &ImpactProbe{
+		Subspace: s.Key(),
+		Probe:    probe,
+		Fallback: cache.UnitKey{Subspace: s.Key(), Breakdown: e.impactFallbackDim(s)},
+		Cost:     e.ScanCost(s),
+	}
+	var unit *cache.Unit
+	for _, dim := range probe {
+		if u, ok := e.qc.Peek(s.Key(), dim); ok {
+			unit = u
+			break
+		}
+	}
+	if unit == nil {
+		u, err := e.MaterializeUnit(s, p.Fallback.Breakdown)
+		if err != nil {
+			return 0, nil, err
+		}
+		unit = u
+	}
+	if unit.Key == p.Fallback {
+		p.Bytes = unit.ApproxBytes()
+	}
+	return e.unitImpact(unit) / e.totalImp, p, nil
 }
 
 // unitImpact sums the impact measure over a unit's groups; valid because the
@@ -390,8 +607,9 @@ func (e *Engine) scanPlan(filters []filterSpec) (drive []int32, rest []filterSpe
 }
 
 // scanUnit executes one filtered group-by scan across all measure columns,
-// charging the metered cost and producing the cache unit.
-func (e *Engine) scanUnit(s model.Subspace, breakdown string) *cache.Unit {
+// producing the cache unit and the number of rows visited. It is pure with
+// respect to the meter and caches; callers charge and store.
+func (e *Engine) scanUnit(s model.Subspace, breakdown string) (*cache.Unit, int) {
 	bcol := e.tab.Dimension(breakdown)
 	card := bcol.Cardinality()
 	filters := e.resolveFilters(s)
@@ -447,15 +665,13 @@ func (e *Engine) scanUnit(s model.Subspace, breakdown string) *cache.Unit {
 		}
 	}
 
-	e.meter.executed.Add(1)
-	e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
-
-	return buildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs)
+	return buildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs), scanned
 }
 
 // scanAugmented executes one scan grouped by (breakdown, d), producing one
-// unit per non-empty value of d.
-func (e *Engine) scanAugmented(base model.Subspace, breakdown, d string) map[string]*cache.Unit {
+// unit per non-empty value of d and the number of rows visited. Like
+// scanUnit it is pure; callers charge and store.
+func (e *Engine) scanAugmented(base model.Subspace, breakdown, d string) (map[string]*cache.Unit, int) {
 	bcol := e.tab.Dimension(breakdown)
 	dcol := e.tab.Dimension(d)
 	bcard, dcard := bcol.Cardinality(), dcol.Cardinality()
@@ -513,12 +729,6 @@ func (e *Engine) scanAugmented(base model.Subspace, breakdown, d string) map[str
 		}
 	}
 
-	e.meter.executed.Add(1)
-	e.meter.augmented.Add(1)
-	// One scan answers |dom(d)| sibling queries; charge a single round trip
-	// plus the scan, mirroring the paper's motivation for augmented queries.
-	e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
-
 	units := make(map[string]*cache.Unit, dcard)
 	bdomain := bcol.Domain()
 	for dv := 0; dv < dcard; dv++ {
@@ -537,7 +747,7 @@ func (e *Engine) scanAugmented(base model.Subspace, breakdown, d string) map[str
 			units[dcol.Value(dv)] = u
 		}
 	}
-	return units
+	return units, scanned
 }
 
 // buildUnit compresses full-domain accumulator arrays into a unit holding

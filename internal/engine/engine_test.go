@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strconv"
+	"sync"
 	"testing"
 
 	"metainsight/internal/cache"
@@ -350,5 +351,182 @@ func TestUnitImpactConsistency(t *testing.T) {
 	}
 	if total != float64(tab.Rows()) {
 		t.Errorf("sibling impacts sum to %v of %d rows", total, tab.Rows())
+	}
+}
+
+// TestScanCostMatchesMeteredCost verifies the analytic ScanCost equals what
+// an executed scan is actually charged, filtered and unfiltered. The miner's
+// canonical accounting relies on this equality to charge budgets without
+// scanning.
+func TestScanCostMatchesMeteredCost(t *testing.T) {
+	tab := randomTable(11, 500)
+	subspaces := []model.Subspace{
+		model.EmptySubspace,
+		model.EmptySubspace.With("City", "LA"),
+		model.EmptySubspace.With("City", "SF").With("Style", "Condo"),
+		model.EmptySubspace.With("City", "SD").With("Style", "1Story").With("Month", "Jan"),
+	}
+	for _, s := range subspaces {
+		e := newEngine(t, tab, false) // disabled cache: every query scans
+		want := e.ScanCost(s)
+		before := e.Meter().Cost()
+		if _, err := e.Unit(s, "Month"); err != nil {
+			t.Fatalf("%s: %v", s.Key(), err)
+		}
+		if got := e.Meter().Cost() - before; got != want {
+			t.Errorf("subspace %q: ScanCost = %v, metered = %v", s.Key(), want, got)
+		}
+	}
+}
+
+// TestMaterializePathsAreQuiet verifies the Materialize*/ImpactUnmetered
+// paths touch neither the meter nor the cache hit/miss counters, while still
+// caching their scans.
+func TestMaterializePathsAreQuiet(t *testing.T) {
+	tab := randomTable(12, 400)
+	e := newEngine(t, tab, true)
+	sub := model.EmptySubspace.With("City", "LA")
+
+	if _, err := e.MaterializeUnit(sub, "Month"); err != nil {
+		t.Fatal(err)
+	}
+	ds := model.DataScope{Subspace: sub, Breakdown: "Style", Measure: model.Sum("Sales")}
+	if _, err := e.MaterializeBasic(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MaterializeAugmented(
+		model.DataScope{Subspace: sub, Breakdown: "Style", Measure: model.Sum("Sales")}, "Month"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.ImpactUnmetered(sub); err != nil {
+		t.Fatal(err)
+	}
+
+	m := e.Meter()
+	if m.Cost() != 0 || m.ExecutedQueries() != 0 || m.ServedQueries() != 0 || m.AugmentedQueries() != 0 {
+		t.Errorf("quiet paths charged the meter: cost=%v exec=%d served=%d aug=%d",
+			m.Cost(), m.ExecutedQueries(), m.ServedQueries(), m.AugmentedQueries())
+	}
+	st := e.QueryCache().Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("quiet paths touched cache counters: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Error("quiet paths did not populate the cache")
+	}
+}
+
+// TestMaterializeMatchesMeteredResults verifies quiet and metered paths
+// return identical data.
+func TestMaterializeMatchesMeteredResults(t *testing.T) {
+	tab := randomTable(13, 300)
+	quiet := newEngine(t, tab, true)
+	metered := newEngine(t, tab, true)
+	sub := model.EmptySubspace.With("Style", "Condo")
+	ds := model.DataScope{Subspace: sub, Breakdown: "Month", Measure: model.Avg("Profit")}
+
+	a, err := quiet.MaterializeBasic(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := metered.BasicQuery(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Keys) != len(b.Keys) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Keys), len(b.Keys))
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.Values[i] != b.Values[i] {
+			t.Errorf("group %d: (%s, %v) vs (%s, %v)", i, a.Keys[i], a.Values[i], b.Keys[i], b.Values[i])
+		}
+	}
+
+	ia, pa, err := quiet.ImpactUnmetered(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := metered.Impact(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia != ib {
+		t.Errorf("impact: quiet %v vs metered %v", ia, ib)
+	}
+	if pa == nil || pa.Cost != quiet.ScanCost(sub) {
+		t.Errorf("impact probe = %+v", pa)
+	}
+}
+
+// TestUnitSingleFlight verifies that concurrent metered misses on one unit
+// coalesce: exactly one scan executes and is charged, the rest are served.
+func TestUnitSingleFlight(t *testing.T) {
+	tab := randomTable(14, 2000)
+	e := newEngine(t, tab, true)
+	sub := model.EmptySubspace.With("City", "SJ")
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Unit(sub, "Month"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := e.Meter()
+	if m.ExecutedQueries() != 1 {
+		t.Errorf("executed = %d, want 1 (single-flight)", m.ExecutedQueries())
+	}
+	if m.ExecutedQueries()+m.ServedQueries() != n {
+		t.Errorf("executed+served = %d, want %d", m.ExecutedQueries()+m.ServedQueries(), n)
+	}
+	if want := e.ScanCost(sub); m.Cost() != want {
+		t.Errorf("cost = %v, want %v (one scan)", m.Cost(), want)
+	}
+}
+
+// TestAugmentedSingleFlightAccounting checks the augmented-scan accounting
+// invariant under concurrency: every call is either the leader of a scan
+// (executed+augmented) or a follower of a concurrent one (served), and cost
+// equals exactly the executed scans. Calls that do not overlap in time scan
+// again (an augmented query has no cache short-circuit, as in the paper), so
+// only the sum — not executed == 1 — is timing-independent.
+func TestAugmentedSingleFlightAccounting(t *testing.T) {
+	tab := randomTable(15, 2000)
+	e := newEngine(t, tab, true)
+	ds := model.DataScope{
+		Subspace:  model.EmptySubspace.With("City", "LA"),
+		Breakdown: "Month",
+		Measure:   model.Sum("Sales"),
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.AugmentedQuery(ds, "Style"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := e.Meter()
+	if m.ExecutedQueries() < 1 || m.ExecutedQueries() != m.AugmentedQueries() {
+		t.Errorf("executed = %d augmented = %d", m.ExecutedQueries(), m.AugmentedQueries())
+	}
+	if m.ExecutedQueries()+m.ServedQueries() != n {
+		t.Errorf("executed+served = %d, want %d", m.ExecutedQueries()+m.ServedQueries(), n)
+	}
+	base := ds.Subspace.Without("Style")
+	if want := float64(m.ExecutedQueries()) * e.ScanCost(base); m.Cost() != want {
+		t.Errorf("cost = %v, want %v (%d scans)", m.Cost(), want, m.ExecutedQueries())
 	}
 }

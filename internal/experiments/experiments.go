@@ -9,8 +9,9 @@
 //
 // Budgets are denominated in deterministic engine cost units (one unit ≈ one
 // millisecond of the paper's Excel-backed substrate; see DESIGN.md,
-// substitution 1), and experiments default to one worker, so every number in
-// EXPERIMENTS.md is exactly reproducible.
+// substitution 1), so every number in EXPERIMENTS.md is exactly
+// reproducible — at any worker count, since query execution is single-flight
+// and the miner commits in canonical order (see Smoke).
 package experiments
 
 import (

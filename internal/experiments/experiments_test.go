@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"testing"
 
 	"metainsight/internal/dataset"
+	"metainsight/internal/miner"
 	"metainsight/internal/workload"
 )
 
@@ -262,6 +264,54 @@ func TestPruningNeverChangesResults(t *testing.T) {
 		// query) the prunings must save meaningful cost.
 		if r.NoCacheSavedPct <= 0 {
 			t.Errorf("%s: no-cache saving %.1f%%", r.Dataset, r.NoCacheSavedPct)
+		}
+	}
+}
+
+// TestWorkerCountInvariance is the acceptance test for the single-flight /
+// canonical-commit engine: on the four Figure-6 workloads with a fixed cost
+// budget (and unlimited), Workers=1 and Workers=8 must report bit-identical
+// ExecutedQueries and CostUsed — plus every other accounting stat — and the
+// same result sets.
+func TestWorkerCountInvariance(t *testing.T) {
+	budgets := []float64{800, 0} // fixed budget and unlimited
+	if testing.Short() {
+		budgets = budgets[:1]
+	}
+	for _, tab := range workload.FourLargeDatasets() {
+		for _, budget := range budgets {
+			run := func(workers int) *miner.Result {
+				s := FullFunctionality()
+				s.Workers = workers
+				s.BudgetUnits = budget
+				r, _ := s.Run(tab)
+				return r
+			}
+			one := run(1)
+			eight := run(8)
+			label := fmt.Sprintf("%s budget=%v", tab.Name(), budget)
+			if a, b := one.Stats.ExecutedQueries, eight.Stats.ExecutedQueries; a != b {
+				t.Errorf("%s: ExecutedQueries %d vs %d", label, a, b)
+			}
+			if a, b := one.Stats.CostUsed, eight.Stats.CostUsed; a != b {
+				t.Errorf("%s: CostUsed %.9f vs %.9f", label, a, b)
+			}
+			sa, sb := one.Stats, eight.Stats
+			sa.QueryCacheStats.Bytes = 0 // best-effort stat, excluded
+			sb.QueryCacheStats.Bytes = 0
+			if sa != sb {
+				t.Errorf("%s: stats differ\n  w1: %+v\n  w8: %+v", label, sa, sb)
+			}
+			ka, kb := one.Keys(), eight.Keys()
+			if len(ka) != len(kb) {
+				t.Errorf("%s: result counts %d vs %d", label, len(ka), len(kb))
+				continue
+			}
+			for k := range ka {
+				if _, ok := kb[k]; !ok {
+					t.Errorf("%s: key %q only mined by W=1", label, k)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"metainsight/internal/miner"
+	"metainsight/internal/workload"
+)
+
+// Smoke is a fast end-to-end check for CI: it mines the Credit Card dataset
+// under a short cost budget at Workers=1 and Workers=8 and verifies the two
+// runs report identical results and bit-identical accounting (the worker-
+// count invariance the engine's single-flight execution and the miner's
+// canonical-order commit guarantee). A non-nil error means the invariant is
+// broken.
+func Smoke(w io.Writer) error {
+	tab := workload.CreditCard()
+	const budget = 400
+
+	run := func(workers int) (map[string]bool, miner.Stats) {
+		s := FullFunctionality()
+		s.Workers = workers
+		s.BudgetUnits = budget
+		res, _ := s.Run(tab)
+		return res.Keys(), res.Stats
+	}
+	oneKeys, oneStats := run(1)
+	eightKeys, eightStats := run(8)
+
+	fprintf(w, "Smoke: %s, budget %d cost units\n", tab.Name(), budget)
+	fprintf(w, "  W=1: %d MetaInsights, %d executed queries, cost %.3f\n",
+		len(oneKeys), oneStats.ExecutedQueries, oneStats.CostUsed)
+	fprintf(w, "  W=8: %d MetaInsights, %d executed queries, cost %.3f\n",
+		len(eightKeys), eightStats.ExecutedQueries, eightStats.CostUsed)
+
+	if len(oneKeys) == 0 {
+		return fmt.Errorf("smoke: no MetaInsights mined")
+	}
+	if len(oneKeys) != len(eightKeys) {
+		return fmt.Errorf("smoke: result counts differ: W=1 %d vs W=8 %d", len(oneKeys), len(eightKeys))
+	}
+	for k := range oneKeys {
+		if !eightKeys[k] {
+			return fmt.Errorf("smoke: %q mined at W=1 but not at W=8", k)
+		}
+	}
+	// QueryCacheStats.Bytes is best-effort (see miner.Stats); everything else
+	// must match bit for bit.
+	a, b := oneStats, eightStats
+	a.QueryCacheStats.Bytes = 0
+	b.QueryCacheStats.Bytes = 0
+	if a != b {
+		return fmt.Errorf("smoke: stats differ\n  W=1: %+v\n  W=8: %+v", a, b)
+	}
+	fprintf(w, "  accounting identical across worker counts\n")
+	return nil
+}

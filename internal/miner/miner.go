@@ -6,11 +6,23 @@
 // the paper's three functionalities — search (subspace expansion), query
 // (internal/engine + internal/cache) and evaluation (internal/pattern +
 // internal/core) — wired together by a dispatcher and a worker pool.
+//
+// Concurrency model: workers execute compute units speculatively and purely.
+// They touch no shared miner state; all data access goes through the
+// engine's quiet single-flighted paths (so two workers never scan the same
+// unit twice concurrently), and every logical query or evaluation the unit
+// performs is recorded as a usage event (see usage.go). The dispatcher — the
+// only goroutine that mutates miner state — commits completed units in
+// canonical order (the order a single worker would process them) and replays
+// their usage events against a simulated cache. Statistics, budget spending,
+// result deduplication and MetaInsight emission therefore need no locks and
+// are bit-identical for any worker count.
 package miner
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"metainsight/internal/cache"
 	"metainsight/internal/core"
@@ -22,15 +34,20 @@ import (
 // Config configures a mining run.
 type Config struct {
 	// Score holds the MetaInsight scoring hyper-parameters (τ, k, r, γ).
+	// Unset (zero) fields are filled individually from the paper defaults
+	// (core.ScoreParams.WithDefaults), so overriding only Tau keeps k, r
+	// and γ meaningful.
 	Score core.ScoreParams
 	// Pattern holds the evaluation-criterion thresholds.
 	Pattern pattern.Config
 	// MaxSubspaceFilters caps the number of non-empty filters in a subspace;
 	// the paper's configuration uses 3.
 	MaxSubspaceFilters int
-	// MaxBreakdownCardinality skips breakdown dimensions with larger
-	// domains (unbounded if 0). Very high-cardinality breakdowns produce
-	// unreadable charts and dominate cost.
+	// MaxBreakdownCardinality skips dimensions with larger domains during
+	// expansion — both as breakdown dimensions and as filter dimensions
+	// (unbounded if 0). Very high-cardinality breakdowns produce unreadable
+	// charts, and high-cardinality filter dimensions explode the subspace
+	// frontier; both dominate cost.
 	MaxBreakdownCardinality int
 	// MinImpact is Pruning 2's threshold: MetaInsight compute units whose
 	// g(Impact_HDS) falls below it are discarded (the paper suggests 0.01).
@@ -42,6 +59,8 @@ type Config struct {
 	// anchor subspace's). Set negative to disable.
 	MinSubspaceImpact float64
 	// Workers is the number of evaluation goroutines; the paper uses 8.
+	// Worker count affects only wall-clock time: results, statistics and
+	// budget consumption are identical for any value.
 	Workers int
 	// UsePriorityQueues selects impact-ordered queues (true, the paper's
 	// design) or FIFO queues (the Figure 6 ablation baseline).
@@ -51,14 +70,16 @@ type Config struct {
 	EnablePruning1 bool
 	// EnablePruning2 enables discarding low-impact MetaInsight units.
 	EnablePruning2 bool
-	// Budget bounds the run; nil means Unlimited.
+	// Budget bounds the run; nil means Unlimited. The budget is checked
+	// before each unit commit, so a run stops on a whole-unit boundary.
 	Budget Budget
 	// PatternCache is the evaluation memo; nil creates an enabled cache.
 	// Pass a disabled cache for the "w/o Pattern Cache" ablation.
 	PatternCache *cache.PatternCache[*pattern.ScopeEvaluation]
 	// OnMetaInsight, when set, is invoked once for each newly stored
-	// MetaInsight as the progressive mining run discovers it. It may be
-	// called from multiple worker goroutines concurrently.
+	// MetaInsight as the progressive mining run discovers it. Calls are made
+	// serially from the dispatcher goroutine, in deterministic discovery
+	// (commit) order.
 	OnMetaInsight func(*core.MetaInsight)
 	// PatternsFirst schedules MetaInsight compute units only when no
 	// data-pattern work is pending, following the sequential reading of the
@@ -89,7 +110,8 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats aggregates counters from one mining run.
+// Stats aggregates counters from one mining run. All counters reflect
+// committed compute units only and are identical for any Workers value.
 type Stats struct {
 	ExpandUnits       int64 // subspace expansions processed
 	DataPatternUnits  int64 // data-pattern compute units processed
@@ -98,6 +120,7 @@ type Stats struct {
 	PatternsFound     int64 // valid (scope, type) basic data patterns
 	Pruned1           int64 // HDP evaluations cut short by Pruning 1
 	Pruned2           int64 // MetaInsight units discarded by Pruning 2
+	PrefetchFailures  int64 // augmented prefetches that fell back to basic queries
 	ExecutedQueries   int64
 	AugmentedQueries  int64
 	CacheServed       int64
@@ -131,19 +154,24 @@ type Miner struct {
 
 	pcache *cache.PatternCache[*pattern.ScopeEvaluation]
 
-	mu      sync.Mutex
+	// stopping is set once the dispatcher stops committing (budget exhausted
+	// or work drained); workers abort promptly, and their output is
+	// discarded, never committed.
+	stopping atomic.Bool
+
+	// Dispatcher-owned state: written only by Run's dispatcher goroutine,
+	// in commit order. No lock needed.
 	results map[string]*core.MetaInsight
 	seenMI  map[string]bool
 	stats   Stats
 	seq     int64
+	acct    *accounting
 }
 
 // New creates a Miner. The zero-value parts of cfg are filled with defaults.
 func New(eng *engine.Engine, cfg Config) *Miner {
 	def := DefaultConfig()
-	if cfg.Score == (core.ScoreParams{}) {
-		cfg.Score = def.Score
-	}
+	cfg.Score = cfg.Score.WithDefaults()
 	if cfg.Pattern.Alpha == 0 {
 		custom := cfg.Pattern.Custom
 		cfg.Pattern = def.Pattern
@@ -179,104 +207,174 @@ func New(eng *engine.Engine, cfg Config) *Miner {
 	}
 }
 
+// completion is the output of one speculatively executed compute unit,
+// applied by the dispatcher if and when the unit commits.
+type completion struct {
+	unit     *workUnit
+	produced []*workUnit // children; kindMetaInsight entries are candidates
+	events   []usageEvent
+	delta    statDelta
+	mi       *core.MetaInsight // non-nil when a kindMetaInsight unit qualified
+}
+
+// specEntry tracks one dispatched-but-uncommitted unit.
+type specEntry struct {
+	unit *workUnit
+	comp *completion // nil while the unit is in flight
+}
+
 // Run executes the mining procedure and returns all discovered MetaInsights.
 func (m *Miner) Run() *Result {
-	patternQueue := m.newQueue()
-	miQueue := patternQueue
+	patternQ := m.newQueue()
+	miQ := patternQ
 	if m.cfg.PatternsFirst {
-		miQueue = m.newQueue()
+		miQ = m.newQueue()
 	}
-	root := &workUnit{
+	patternQ.Push(&workUnit{
 		kind:      kindExpand,
 		priority:  1,
 		subspace:  model.EmptySubspace,
 		impact:    1,
 		maxDimIdx: -1,
-	}
-	patternQueue.Push(root)
+	})
 
-	type completion struct {
-		produced   []*workUnit
-		wasPattern bool
-	}
+	m.acct = newAccounting(m.eng, m.pcache)
+
 	workCh := make(chan *workUnit)
-	doneCh := make(chan completion)
+	doneCh := make(chan *completion)
 	var wg sync.WaitGroup
 	for i := 0; i < m.cfg.Workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for u := range workCh {
-				doneCh <- completion{produced: m.process(u), wasPattern: u.kind != kindMetaInsight}
+				doneCh <- m.process(u)
 			}
 		}()
 	}
 
+	// spec holds dispatched-but-uncommitted units in dispatch order;
+	// inflight counts those still being processed. Speculation is bounded so
+	// one slow canonical-head unit cannot pile up unbounded completed work.
+	var spec []*specEntry
 	inflight := 0
-	patternInflight := 0
-	// pop selects the queue to dispatch from: the pattern queue first and —
-	// under PatternsFirst — the MetaInsight queue only once no pattern unit
-	// is pending or in flight that could refill it (the paper's
-	// module-feeding order). With a single merged queue both branches see
-	// the same heap.
-	pop := func() workQueue {
-		if patternQueue.Len() > 0 {
-			return patternQueue
+	patternSpec := 0 // spec entries on the pattern side (non-MetaInsight)
+	specCap := 8 * m.cfg.Workers
+
+	// bestSpec returns the canonically-first spec entry, optionally
+	// restricted to one side.
+	bestSpec := func(side unitKind, restrict bool) *specEntry {
+		var best *specEntry
+		for _, e := range spec {
+			if restrict && (e.unit.kind == kindMetaInsight) != (side == kindMetaInsight) {
+				continue
+			}
+			if best == nil || m.canonicalBefore(e.unit, best.unit) {
+				best = e
+			}
 		}
-		if m.cfg.PatternsFirst && patternInflight > 0 {
+		return best
+	}
+	firstOf := func(ready *workUnit, e *specEntry) (*workUnit, *specEntry) {
+		if e == nil {
+			return ready, nil
+		}
+		if ready == nil || m.canonicalBefore(e.unit, ready) {
+			return e.unit, e
+		}
+		return ready, nil
+	}
+	// canonicalNext returns the unit a single-worker run would process next
+	// given the committed state, and its spec entry if it has already been
+	// dispatched. Under PatternsFirst, any outstanding pattern-side unit
+	// precedes every MetaInsight unit (the pattern side can still refill).
+	canonicalNext := func() (*workUnit, *specEntry) {
+		if m.cfg.PatternsFirst {
+			if u, e := firstOf(patternQ.Peek(), bestSpec(kindDataPattern, true)); u != nil {
+				return u, e
+			}
+			return firstOf(miQ.Peek(), bestSpec(kindMetaInsight, true))
+		}
+		return firstOf(patternQ.Peek(), bestSpec(0, false))
+	}
+	// nextReady returns the queue to dispatch from, mirroring the canonical
+	// preference: pattern work first, and under PatternsFirst no MetaInsight
+	// unit is dispatched while pattern-side work is outstanding (it cannot
+	// commit before that work anyway).
+	nextReady := func() workQueue {
+		if patternQ.Len() > 0 {
+			return patternQ
+		}
+		if m.cfg.PatternsFirst && patternSpec > 0 {
 			return nil
 		}
-		if miQueue.Len() > 0 {
-			return miQueue
+		if miQ.Len() > 0 {
+			return miQ
 		}
 		return nil
 	}
-	enqueue := func(units []*workUnit) {
-		for _, u := range units {
-			m.seq++
-			u.seq = m.seq
-			if u.kind == kindMetaInsight {
-				miQueue.Push(u)
-			} else {
-				patternQueue.Push(u)
+	remove := func(e *specEntry) {
+		for i, x := range spec {
+			if x == e {
+				spec = append(spec[:i], spec[i+1:]...)
+				break
 			}
 		}
-	}
-	receive := func(c completion) {
-		enqueue(c.produced)
-		inflight--
-		if c.wasPattern {
-			patternInflight--
+		if e.unit.kind != kindMetaInsight {
+			patternSpec--
 		}
+	}
+	receive := func(c *completion) {
+		for _, e := range spec {
+			if e.unit == c.unit {
+				e.comp = c
+				break
+			}
+		}
+		inflight--
 	}
 
 	for {
 		if m.cfg.Budget.Exceeded() {
 			break
 		}
-		q := pop()
-		if q == nil && inflight == 0 {
+		next, entry := canonicalNext()
+		if next == nil && inflight == 0 {
 			break
 		}
-		if q == nil {
-			receive(<-doneCh)
+		if entry != nil && entry.comp != nil {
+			m.commit(entry.comp, miQ, patternQ)
+			remove(entry)
 			continue
 		}
-		next := q.Peek()
-		select {
-		case workCh <- next:
-			q.Pop()
-			inflight++
-			if next.kind != kindMetaInsight {
-				patternInflight++
+		if inflight < m.cfg.Workers && len(spec) < specCap {
+			if q := nextReady(); q != nil {
+				u := q.Peek()
+				select {
+				case workCh <- u:
+					q.Pop()
+					spec = append(spec, &specEntry{unit: u})
+					if u.kind != kindMetaInsight {
+						patternSpec++
+					}
+					inflight++
+					continue
+				case c := <-doneCh:
+					receive(c)
+					continue
+				}
 			}
-		case c := <-doneCh:
-			receive(c)
 		}
+		if inflight == 0 {
+			break
+		}
+		receive(<-doneCh)
 	}
+
+	m.stopping.Store(true)
 	close(workCh)
 	// Drain remaining in-flight units; their output is discarded (the
-	// budget is spent).
+	// budget is spent), so it is never accounted.
 	go func() {
 		wg.Wait()
 		close(doneCh)
@@ -287,6 +385,63 @@ func (m *Miner) Run() *Result {
 	return m.finish()
 }
 
+// canonicalBefore reports whether a precedes b in the canonical processing
+// order: priority descending with seq as tie-breaker under priority queues,
+// emission (seq) order under FIFO queues. It matches the queues' ordering.
+func (m *Miner) canonicalBefore(a, b *workUnit) bool {
+	if m.cfg.UsePriorityQueues && a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+// commit applies one completed unit in canonical order: replay its usage
+// events against the simulated cache (charging the meter), fold its
+// counters, filter and enqueue its children, and record its MetaInsight.
+func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
+	for _, ev := range c.events {
+		m.acct.apply(ev)
+	}
+	m.stats.ExpandUnits += c.delta.expandUnits
+	m.stats.DataPatternUnits += c.delta.dataPatternUnits
+	m.stats.MetaInsightUnits += c.delta.metaInsightUnits
+	m.stats.PatternsFound += c.delta.patternsFound
+	m.stats.Pruned1 += c.delta.pruned1
+
+	for _, u := range c.produced {
+		if u.kind == kindMetaInsight {
+			// Identity dedup and Pruning 2 are commit-time decisions so the
+			// first unit in canonical order wins, independent of which
+			// worker raced where.
+			if m.seenMI[u.miKey] {
+				continue
+			}
+			m.seenMI[u.miKey] = true
+			if m.cfg.EnablePruning2 && minClamp(u.impactHDS) < m.cfg.MinImpact {
+				m.stats.Pruned2++
+				continue
+			}
+			m.stats.EmittedMIUnits++
+			m.seq++
+			u.seq = m.seq
+			miQ.Push(u)
+			continue
+		}
+		m.seq++
+		u.seq = m.seq
+		patternQ.Push(u)
+	}
+
+	if c.mi != nil {
+		if _, exists := m.results[c.mi.Key()]; !exists {
+			m.results[c.mi.Key()] = c.mi
+			if m.cfg.OnMetaInsight != nil {
+				m.cfg.OnMetaInsight(c.mi)
+			}
+		}
+	}
+}
+
 func (m *Miner) newQueue() workQueue {
 	if m.cfg.UsePriorityQueues {
 		return newPriorityQueue()
@@ -294,17 +449,7 @@ func (m *Miner) newQueue() workQueue {
 	return newFIFOQueue()
 }
 
-func (m *Miner) enqueue(q workQueue, units []*workUnit) {
-	for _, u := range units {
-		m.seq++
-		u.seq = m.seq
-		q.Push(u)
-	}
-}
-
 func (m *Miner) finish() *Result {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := make([]*core.MetaInsight, 0, len(m.results))
 	for _, mi := range m.results {
 		out = append(out, mi)
@@ -320,24 +465,33 @@ func (m *Miner) finish() *Result {
 	m.stats.AugmentedQueries = meter.AugmentedQueries()
 	m.stats.CacheServed = meter.ServedQueries()
 	m.stats.CostUsed = meter.Cost()
-	m.stats.QueryCacheStats = m.eng.QueryCache().Stats()
-	m.stats.PatternCacheStats = m.pcache.Stats()
+	m.stats.PrefetchFailures = m.acct.prefetchFailures
+	m.stats.QueryCacheStats = m.acct.queryStats()
+	m.stats.PatternCacheStats = m.acct.patternStats()
 	return &Result{MetaInsights: out, Stats: m.stats}
 }
 
-// process dispatches one compute unit to its handler.
-func (m *Miner) process(u *workUnit) []*workUnit {
+// process executes one compute unit speculatively: pure data work plus a
+// recording of the usage it performed. It runs on a worker goroutine and
+// touches no dispatcher-owned state.
+func (m *Miner) process(u *workUnit) *completion {
+	c := &completion{unit: u}
+	rec := &recorder{}
 	switch u.kind {
 	case kindExpand:
-		return m.processExpand(u)
+		c.delta.expandUnits++
+		c.produced = m.processExpand(u, rec)
 	case kindDataPattern:
-		return m.processDataPattern(u)
+		c.delta.dataPatternUnits++
+		c.produced = m.processDataPattern(u, rec, &c.delta)
 	case kindMetaInsight:
-		m.processMetaInsight(u)
-		return nil
+		c.delta.metaInsightUnits++
+		c.mi = m.processMetaInsight(u, rec, &c.delta)
 	default:
 		panic("miner: unknown unit kind")
 	}
+	c.events = rec.events
+	return c
 }
 
 // processExpand emits the data-pattern compute units for a subspace and, if
@@ -345,8 +499,7 @@ func (m *Miner) process(u *workUnit) []*workUnit {
 // impacts (computed from one group-by unit per expandable dimension — the
 // same units the data-pattern module will need, so the scans are shared
 // through the query cache).
-func (m *Miner) processExpand(u *workUnit) []*workUnit {
-	m.addStat(func(s *Stats) { s.ExpandUnits++ })
+func (m *Miner) processExpand(u *workUnit, rec *recorder) []*workUnit {
 	tab := m.eng.Table()
 	var produced []*workUnit
 
@@ -375,7 +528,7 @@ func (m *Miner) processExpand(u *workUnit) []*workUnit {
 	}
 	dims := tab.Dimensions()
 	for idx := u.maxDimIdx + 1; idx < len(dims); idx++ {
-		if m.cfg.Budget.Exceeded() {
+		if m.stopping.Load() {
 			break
 		}
 		dim := dims[idx]
@@ -385,10 +538,11 @@ func (m *Miner) processExpand(u *workUnit) []*workUnit {
 		if m.cfg.MaxBreakdownCardinality > 0 && dim.Cardinality() > m.cfg.MaxBreakdownCardinality {
 			continue
 		}
-		unit, err := m.eng.Unit(u.subspace, dim.Name)
+		unit, err := m.eng.MaterializeUnit(u.subspace, dim.Name)
 		if err != nil {
 			continue
 		}
+		rec.recordUnit(unit, m.eng.ScanCost(u.subspace))
 		childImpacts := m.unitImpacts(unit)
 		for gi, v := range unit.GroupKeys {
 			imp := childImpacts[gi]
@@ -426,20 +580,21 @@ func (m *Miner) unitImpacts(u *cache.Unit) []float64 {
 }
 
 // processDataPattern evaluates every measure and pattern type on one
-// (subspace, breakdown) scope family and emits MetaInsight compute units for
-// each discovered basic data pattern (pattern-guided mining, Figure 4).
-func (m *Miner) processDataPattern(u *workUnit) []*workUnit {
-	m.addStat(func(s *Stats) { s.DataPatternUnits++ })
+// (subspace, breakdown) scope family and emits MetaInsight compute-unit
+// candidates for each discovered basic data pattern (pattern-guided mining,
+// Figure 4). Candidate dedup and Pruning 2 happen at commit time.
+func (m *Miner) processDataPattern(u *workUnit, rec *recorder, delta *statDelta) []*workUnit {
 	tab := m.eng.Table()
 	bcol := tab.Dimension(u.breakdown)
 	temporal := bcol.Kind == model.KindTemporal
 
 	// One unit fetch serves every measure of the scope family (the cache
 	// unit spans all measures, Figure 5).
-	unit, err := m.eng.Unit(u.subspace, u.breakdown)
+	unit, err := m.eng.MaterializeUnit(u.subspace, u.breakdown)
 	if err != nil {
 		return nil
 	}
+	rec.recordUnit(unit, m.eng.ScanCost(u.subspace))
 	var produced []*workUnit
 	for _, meas := range m.eng.Measures() {
 		ds := model.DataScope{Subspace: u.subspace, Breakdown: u.breakdown, Measure: meas}
@@ -447,33 +602,32 @@ func (m *Miner) processDataPattern(u *workUnit) []*workUnit {
 		if err != nil || series.Len() < 3 {
 			continue
 		}
-		se := m.evaluateScope(ds, series, temporal)
+		se := m.evaluateScope(rec, ds, series, temporal)
 		for _, t := range se.ValidTypes() {
-			m.addStat(func(s *Stats) { s.PatternsFound++ })
-			produced = append(produced, m.emitMetaInsightUnits(ds, t, u.impact)...)
+			delta.patternsFound++
+			produced = append(produced, m.emitMetaInsightUnits(rec, ds, t, u.impact)...)
 		}
 	}
 	return produced
 }
 
 // evaluateScope runs (or recalls) the all-types evaluation of one data scope
-// through the pattern cache.
-func (m *Miner) evaluateScope(ds model.DataScope, series *engine.Series, temporal bool) *pattern.ScopeEvaluation {
+// through the pattern cache, recording the evaluation for canonical
+// accounting. Concurrent evaluations of the same scope single-flight.
+func (m *Miner) evaluateScope(rec *recorder, ds model.DataScope, series *engine.Series, temporal bool) *pattern.ScopeEvaluation {
 	key := ds.Key()
-	if se, ok := m.pcache.Get(key); ok {
-		return se
-	}
-	se := pattern.EvaluateAllScoped(ds, series.Keys, series.Values, temporal, m.cfg.Pattern)
-	m.eng.ChargeEvaluation()
-	m.pcache.Put(key, se)
-	return se
+	rec.recordEval(key)
+	return m.pcache.Materialize(key, func() *pattern.ScopeEvaluation {
+		return pattern.EvaluateAllScoped(ds, series.Keys, series.Values, temporal, m.cfg.Pattern)
+	})
 }
 
 // emitMetaInsightUnits applies the three extension strategies to a
-// discovered basic data pattern dp = (ds, t, ·) and emits one MetaInsight
-// compute unit per resulting HDS (deduplicated across anchors), applying
-// Pruning 2 on the HDS impact.
-func (m *Miner) emitMetaInsightUnits(ds model.DataScope, t pattern.Type, impactS float64) []*workUnit {
+// discovered basic data pattern dp = (ds, t, ·) and returns one MetaInsight
+// compute-unit candidate per resulting HDS. Deduplication across anchors and
+// Pruning 2 are applied by the dispatcher at commit time, so candidate
+// filtering is deterministic in commit order.
+func (m *Miner) emitMetaInsightUnits(rec *recorder, ds model.DataScope, t pattern.Type, impactS float64) []*workUnit {
 	tab := m.eng.Table()
 	var produced []*workUnit
 
@@ -481,27 +635,13 @@ func (m *Miner) emitMetaInsightUnits(ds model.DataScope, t pattern.Type, impactS
 		if len(hds.Scopes) < 2 {
 			return
 		}
-		key := hds.Key() + "|" + t.String()
-		m.mu.Lock()
-		seen := m.seenMI[key]
-		if !seen {
-			m.seenMI[key] = true
-		}
-		m.mu.Unlock()
-		if seen {
-			return
-		}
-		if m.cfg.EnablePruning2 && minClamp(impactHDS) < m.cfg.MinImpact {
-			m.addStat(func(s *Stats) { s.Pruned2++ })
-			return
-		}
-		m.addStat(func(s *Stats) { s.EmittedMIUnits++ })
 		produced = append(produced, &workUnit{
 			kind:      kindMetaInsight,
 			priority:  impactHDS,
 			hds:       hds,
 			ptype:     t,
 			impactHDS: impactHDS,
+			miKey:     hds.Key() + "|" + t.String(),
 		})
 	}
 
@@ -514,9 +654,12 @@ func (m *Miner) emitMetaInsightUnits(ds model.DataScope, t pattern.Type, impactS
 		hds := core.SubspaceHDS(ds, f.Dim, col.Domain())
 		// Impact_HDS = Impact(subspace without the extended filter), by
 		// additivity of the impact measure over the sibling group.
-		rootImpact, err := m.eng.Impact(hds.RootSubspace())
+		rootImpact, probe, err := m.eng.ImpactUnmetered(hds.RootSubspace())
 		if err != nil {
 			continue
+		}
+		if probe != nil {
+			rec.recordImpact(probe)
 		}
 		emit(hds, rootImpact)
 	}
@@ -543,25 +686,16 @@ func minClamp(x float64) float64 {
 	return x
 }
 
-// processMetaInsight evaluates one HDP and records the resulting
+// processMetaInsight evaluates one HDP and returns the resulting
 // MetaInsight, if any. Subspace-extended HDSs are prefetched with one
-// augmented query when the query cache is enabled; Pruning 1 aborts the
-// evaluation as soon as no commonness can reach τ.
-func (m *Miner) processMetaInsight(u *workUnit) {
-	m.addStat(func(s *Stats) { s.MetaInsightUnits++ })
+// augmented query when the query cache is enabled; a failed prefetch falls
+// back to per-sibling basic queries (counted in Stats.PrefetchFailures).
+// Pruning 1 aborts the evaluation as soon as no commonness can reach τ.
+func (m *Miner) processMetaInsight(u *workUnit, rec *recorder, delta *statDelta) *core.MetaInsight {
 	tab := m.eng.Table()
 
 	if u.hds.Kind == model.ExtendSubspace && m.eng.QueryCache().Enabled() {
-		// One augmented query prefetches the entire sibling group; issue it
-		// unless every sibling unit is already cached.
-		for _, scope := range u.hds.Scopes {
-			if _, ok := m.eng.QueryCache().Peek(scope.Subspace.Key(), scope.Breakdown); !ok {
-				if _, err := m.eng.AugmentedQuery(u.hds.Anchor, u.hds.ExtDim); err != nil {
-					return
-				}
-				break
-			}
-		}
+		m.prefetchSiblings(u, rec)
 	}
 
 	n := len(u.hds.Scopes)
@@ -571,16 +705,24 @@ func (m *Miner) processMetaInsight(u *workUnit) {
 	tau := m.cfg.Score.Tau
 
 	for j, scope := range u.hds.Scopes {
-		if m.cfg.Budget.Exceeded() {
-			return
+		if m.stopping.Load() {
+			return nil
 		}
-		series, err := m.eng.BasicQuery(scope)
+		if err := tab.Validate(scope); err != nil {
+			continue
+		}
+		unit, err := m.eng.MaterializeUnit(scope.Subspace, scope.Breakdown)
+		if err != nil {
+			continue
+		}
+		rec.recordUnit(unit, m.eng.ScanCost(scope.Subspace))
+		series, err := engine.Extract(unit, scope)
 		if err != nil || series.Len() < 3 {
 			// Empty or degenerate sibling: not part of the HDP.
 			continue
 		}
 		temporal := tab.Dimension(scope.Breakdown).Kind == model.KindTemporal
-		se := m.evaluateScope(scope, series, temporal)
+		se := m.evaluateScope(rec, scope, series, temporal)
 		t, h := se.Induced(u.ptype)
 		patterns = append(patterns, core.DataPattern{Scope: scope, Type: t, Highlight: h})
 		if t == u.ptype {
@@ -598,32 +740,57 @@ func (m *Miner) processMetaInsight(u *workUnit) {
 			// size, so scopes that turned out empty cannot cause a valid
 			// MetaInsight to be pruned.
 			if float64(best+remaining) <= tau*float64(len(patterns)+remaining) {
-				m.addStat(func(s *Stats) { s.Pruned1++ })
-				return
+				delta.pruned1++
+				return nil
 			}
 		}
 	}
 	if len(patterns) < 2 {
-		return
+		return nil
 	}
 	hdp := &core.HDP{HDS: u.hds, Type: u.ptype, Patterns: patterns}
 	mi, ok := core.BuildMetaInsight(hdp, u.impactHDS, m.cfg.Score)
 	if !ok {
-		return
+		return nil
 	}
-	m.mu.Lock()
-	_, exists := m.results[mi.Key()]
-	if !exists {
-		m.results[mi.Key()] = mi
-	}
-	m.mu.Unlock()
-	if !exists && m.cfg.OnMetaInsight != nil {
-		m.cfg.OnMetaInsight(mi)
-	}
+	return mi
 }
 
-func (m *Miner) addStat(f func(*Stats)) {
-	m.mu.Lock()
-	f(&m.stats)
-	m.mu.Unlock()
+// prefetchSiblings records (and, if the physical cache lacks any sibling,
+// executes) the augmented-query prefetch for a subspace-extending HDS. One
+// augmented scan populates the entire sibling group SG(anchor, ExtDim).
+// Whether the canonical run pays for the scan is decided at commit time by
+// replaying the recorded decision against the simulated cache.
+func (m *Miner) prefetchSiblings(u *workUnit, rec *recorder) {
+	qc := m.eng.QueryCache()
+	scopes := make([]cache.UnitKey, len(u.hds.Scopes))
+	allCached := true
+	for i, scope := range u.hds.Scopes {
+		scopes[i] = cache.UnitKey{Subspace: scope.Subspace.Key(), Breakdown: scope.Breakdown}
+		if _, ok := qc.Peek(scopes[i].Subspace, scopes[i].Breakdown); !ok {
+			allCached = false
+		}
+	}
+	use := &siblingUse{
+		scopes: scopes,
+		cost:   m.eng.ScanCost(u.hds.Anchor.Subspace.Without(u.hds.ExtDim)),
+	}
+	if allCached {
+		// Physically nothing to fetch; reconstruct the scan's sibling list
+		// (the non-empty scope units) from the cache so the commit-time
+		// replay can populate its simulation if it decides the prefetch
+		// fires there.
+		for _, k := range scopes {
+			if unit, ok := qc.Peek(k.Subspace, k.Breakdown); ok && len(unit.GroupKeys) > 0 {
+				use.siblings = append(use.siblings, unitUse{key: k, bytes: unit.ApproxBytes()})
+			}
+		}
+	} else if units, err := m.eng.MaterializeAugmented(u.hds.Anchor, u.hds.ExtDim); err != nil {
+		use.failed = true
+	} else {
+		for _, unit := range units {
+			use.siblings = append(use.siblings, unitUse{key: unit.Key, bytes: unit.ApproxBytes()})
+		}
+	}
+	rec.recordSiblings(use)
 }

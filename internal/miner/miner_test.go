@@ -331,3 +331,182 @@ func TestBudgetPrefixMonotonicity(t *testing.T) {
 		prev = keys
 	}
 }
+
+// assertSameStats asserts two runs' statistics are bit-identical, except
+// QueryCacheStats.Bytes, which is documented best-effort (an impact-fallback
+// unit observed only via a cached peek reports size 0).
+func assertSameStats(t *testing.T, label string, a, b Stats) {
+	t.Helper()
+	a.QueryCacheStats.Bytes = 0
+	b.QueryCacheStats.Bytes = 0
+	if a != b {
+		t.Errorf("%s: stats differ\n  w1: %+v\n  wN: %+v", label, a, b)
+	}
+}
+
+// assertSameOrderedKeys asserts the result lists are identical including
+// their (score-sorted) order.
+func assertSameOrderedKeys(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.MetaInsights) != len(b.MetaInsights) {
+		t.Errorf("%s: result sizes differ: %d vs %d", label, len(a.MetaInsights), len(b.MetaInsights))
+		return
+	}
+	for i := range a.MetaInsights {
+		if a.MetaInsights[i].Key() != b.MetaInsights[i].Key() {
+			t.Errorf("%s: result %d differs: %q vs %q", label, i,
+				a.MetaInsights[i].Key(), b.MetaInsights[i].Key())
+			return
+		}
+	}
+}
+
+// TestMultiWorkerDeterministicAccounting is the determinism regression test
+// for the canonical-commit dispatcher: for every scheduler variant and for a
+// finite budget, Workers=1 and Workers=8 must produce identical ordered
+// results and bit-identical statistics — executed/augmented/served query
+// counts, metered cost, cache hit/miss/entry counts, unit and pruning
+// counters. Run it with -race to also exercise the concurrency soundness.
+func TestMultiWorkerDeterministicAccounting(t *testing.T) {
+	tab := plantedTable(t)
+	variants := []struct {
+		name   string
+		mutate func(*Config, *engine.Config)
+	}{
+		{"priority", nil},
+		{"patterns-first", func(c *Config, e *engine.Config) { c.PatternsFirst = true }},
+		{"fifo", func(c *Config, e *engine.Config) { c.UsePriorityQueues = false }},
+		{"no-query-cache", func(c *Config, e *engine.Config) {
+			e.QueryCache = cache.NewQueryCache(false)
+		}},
+		{"no-pattern-cache", func(c *Config, e *engine.Config) {
+			c.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](false)
+		}},
+		{"budget60", func(c *Config, e *engine.Config) {
+			meter := &engine.Meter{}
+			e.Meter = meter
+			c.Budget = CostBudget{Meter: meter, Limit: 60}
+		}},
+	}
+	for _, v := range variants {
+		run := func(workers int) *Result {
+			return runMiner(t, tab, func(c *Config, e *engine.Config) {
+				if v.mutate != nil {
+					v.mutate(c, e)
+				}
+				c.Workers = workers
+			})
+		}
+		one := run(1)
+		eight := run(8)
+		assertSameOrderedKeys(t, v.name, one, eight)
+		assertSameStats(t, v.name, one.Stats, eight.Stats)
+		if one.Stats.ExecutedQueries == 0 {
+			t.Errorf("%s: no queries executed (vacuous)", v.name)
+		}
+	}
+}
+
+// TestProgressCallbackOrderIsDeterministic asserts OnMetaInsight fires in
+// the same (commit) order regardless of worker count.
+func TestProgressCallbackOrderIsDeterministic(t *testing.T) {
+	tab := plantedTable(t)
+	discover := func(workers int) []string {
+		var order []string
+		runMiner(t, tab, func(c *Config, e *engine.Config) {
+			c.Workers = workers
+			c.OnMetaInsight = func(mi *core.MetaInsight) {
+				order = append(order, mi.Key())
+			}
+		})
+		return order
+	}
+	one := discover(1)
+	eight := discover(8)
+	if len(one) == 0 {
+		t.Fatal("no MetaInsights discovered")
+	}
+	if len(one) != len(eight) {
+		t.Fatalf("discovery counts differ: %d vs %d", len(one), len(eight))
+	}
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Fatalf("discovery order differs at %d: %q vs %q", i, one[i], eight[i])
+		}
+	}
+}
+
+// TestPrefetchFailureFallsBackToBasicQueries white-boxes a MetaInsight unit
+// whose augmented-query prefetch is invalid (extension dimension equals the
+// anchor breakdown) and asserts the unit is still evaluated via per-sibling
+// basic queries, with the failure counted.
+func TestPrefetchFailureFallsBackToBasicQueries(t *testing.T) {
+	tab := plantedTable(t)
+	eng, err := engine.New(tab, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(eng, DefaultConfig())
+	m.acct = newAccounting(eng, m.pcache)
+
+	anchor := model.DataScope{
+		Subspace:  model.EmptySubspace.With("City", "Los Angeles"),
+		Breakdown: "Month",
+		Measure:   model.Sum("Sales"),
+	}
+	hds := core.SubspaceHDS(anchor, "City", tab.Dimension("City").Domain())
+	hds.ExtDim = "Month" // sabotage: collides with the breakdown → prefetch invalid
+	u := &workUnit{
+		kind:      kindMetaInsight,
+		hds:       hds,
+		ptype:     pattern.Unimodality,
+		impactHDS: 1,
+		miKey:     hds.Key() + "|" + pattern.Unimodality.String(),
+	}
+
+	c := m.process(u)
+	if c.mi == nil {
+		t.Fatal("MetaInsight unit dropped on prefetch failure; want basic-query fallback")
+	}
+	for _, ev := range c.events {
+		m.acct.apply(ev)
+	}
+	if m.acct.prefetchFailures != 1 {
+		t.Errorf("prefetchFailures = %d, want 1", m.acct.prefetchFailures)
+	}
+	if m.acct.executed == 0 {
+		t.Error("fallback executed no basic queries")
+	}
+}
+
+// TestScoreParamsPartialOverride is the regression test for the
+// all-or-nothing Score default: overriding only Tau must keep k, r, γ at
+// their paper defaults rather than zeroing Equation 18's terms.
+func TestScoreParamsPartialOverride(t *testing.T) {
+	tab := plantedTable(t)
+	eng, err := engine.New(tab, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Score = core.ScoreParams{Tau: 0.6}
+	m := New(eng, cfg)
+	def := core.DefaultScoreParams()
+	got := m.cfg.Score
+	if got.Tau != 0.6 {
+		t.Errorf("Tau = %v, want 0.6 (explicit override)", got.Tau)
+	}
+	if got.K != def.K || got.R != def.R || got.Gamma != def.Gamma {
+		t.Errorf("unset fields not defaulted: %+v (want K=%d R=%v Gamma=%v)",
+			got, def.K, def.R, def.Gamma)
+	}
+
+	// And mining with the partial override must still score sanely (γ > 0
+	// keeps scores in (0, 1]).
+	res := New(eng, cfg).Run()
+	for _, mi := range res.MetaInsights {
+		if mi.Score <= 0 || mi.Score > 1 {
+			t.Fatalf("score out of range with partial Score override: %v", mi.Score)
+		}
+	}
+}

@@ -43,6 +43,7 @@ type workUnit struct {
 	hds       core.HDS
 	ptype     pattern.Type
 	impactHDS float64
+	miKey     string // identity key for commit-time deduplication
 }
 
 // workQueue abstracts the compute-unit queue so the paper's priority-queue

@@ -1,0 +1,260 @@
+package miner
+
+import (
+	"metainsight/internal/cache"
+	"metainsight/internal/engine"
+	"metainsight/internal/pattern"
+)
+
+// This file implements the miner's canonical accounting. Workers execute
+// compute units speculatively and purely — they materialize data through the
+// engine's quiet (unmetered) paths and record *usage events* describing the
+// cache lookups and scans their unit logically performs. The dispatcher
+// replays those events against a simulated cache in canonical commit order,
+// charging the meter and the run statistics as a single-worker run would.
+// Because the replay depends only on the commit order (which is
+// deterministic) and on data (which is deterministic), ExecutedQueries,
+// AugmentedQueries, CacheServed, CostUsed and the cache hit/miss statistics
+// are bit-identical for any worker count — the at-most-once query accounting
+// the paper's Fig 6/7 and Table 3 assume.
+
+// usageKind tags one recorded usage event.
+type usageKind int
+
+const (
+	// useUnit is one logical unit query (the paper's BasicQuery or the
+	// expand module's group-by probe): served if cached, else one scan.
+	useUnit usageKind = iota
+	// useEval is one data-pattern evaluation: free if memoized, else one
+	// evaluation charge.
+	useEval
+	// useImpact is one impact lookup (Equation 2): free if any unit of the
+	// subspace is cached, else one fallback unit scan.
+	useImpact
+	// useSiblings is one augmented-query prefetch decision for a
+	// subspace-extending HDS: skipped if every sibling unit is cached, else
+	// one augmented scan populating the whole sibling group.
+	useSiblings
+)
+
+// unitUse describes one unit query: its cache key, the analytic cost of the
+// scan that a miss would execute, and the unit's approximate size.
+type unitUse struct {
+	key   cache.UnitKey
+	cost  float64
+	bytes int64
+}
+
+// siblingUse describes one augmented-prefetch decision.
+type siblingUse struct {
+	// scopes are the HDS scope unit keys; the prefetch fires iff any is
+	// missing from the (simulated) cache.
+	scopes []cache.UnitKey
+	// cost is the analytic cost of the augmented scan.
+	cost float64
+	// failed records that the augmented query was invalid; the unit fell
+	// back to per-sibling basic queries.
+	failed bool
+	// siblings are the non-empty sibling units the scan produces.
+	siblings []unitUse
+}
+
+// usageEvent is one recorded event; exactly the field for its kind is set.
+type usageEvent struct {
+	kind    usageKind
+	unit    unitUse             // useUnit
+	scope   string              // useEval: data-scope key
+	impact  *engine.ImpactProbe // useImpact
+	sibling *siblingUse         // useSiblings
+}
+
+// statDelta carries the worker-side counters of one compute unit; the
+// dispatcher folds it into Stats when (and only when) the unit commits.
+type statDelta struct {
+	expandUnits      int64
+	dataPatternUnits int64
+	metaInsightUnits int64
+	patternsFound    int64
+	pruned1          int64
+}
+
+// recorder accumulates the usage events of one compute unit, in the order a
+// sequential execution performs them.
+type recorder struct {
+	events []usageEvent
+}
+
+func (r *recorder) recordUnit(u *cache.Unit, cost float64) {
+	r.events = append(r.events, usageEvent{kind: useUnit, unit: unitUse{
+		key:   u.Key,
+		cost:  cost,
+		bytes: u.ApproxBytes(),
+	}})
+}
+
+func (r *recorder) recordEval(scopeKey string) {
+	r.events = append(r.events, usageEvent{kind: useEval, scope: scopeKey})
+}
+
+func (r *recorder) recordImpact(p *engine.ImpactProbe) {
+	r.events = append(r.events, usageEvent{kind: useImpact, impact: p})
+}
+
+func (r *recorder) recordSiblings(s *siblingUse) {
+	r.events = append(r.events, usageEvent{kind: useSiblings, sibling: s})
+}
+
+// accounting replays usage events against a simulated query cache and
+// pattern cache, mirroring exactly what a single worker executing the
+// committed units in commit order would have been charged. It also forwards
+// the charges to the engine's meter, so cost budgets observe only committed
+// (deterministic) spending.
+type accounting struct {
+	meter     *engine.Meter
+	qcEnabled bool
+	pcEnabled bool
+	evalCost  float64
+
+	qc      map[cache.UnitKey]int64 // simulated query cache: key → bytes
+	pc      map[string]struct{}     // simulated pattern cache
+	qcBytes int64
+
+	executed         int64
+	augmented        int64
+	served           int64
+	qcHits, qcMisses int64
+	pcHits, pcMisses int64
+	prefetchFailures int64
+	cost             float64
+}
+
+// newAccounting creates the simulation, seeded from the physical caches'
+// current contents so warm caches shared across runs are credited with the
+// hits they will serve.
+func newAccounting(eng *engine.Engine, pc *cache.PatternCache[*pattern.ScopeEvaluation]) *accounting {
+	a := &accounting{
+		meter:     eng.Meter(),
+		qcEnabled: eng.QueryCache().Enabled(),
+		pcEnabled: pc.Enabled(),
+		evalCost:  eng.EvaluationCost(),
+		qc:        eng.QueryCache().Snapshot(),
+		pc:        pc.KeySet(),
+	}
+	for _, b := range a.qc {
+		a.qcBytes += b
+	}
+	return a
+}
+
+func (a *accounting) charge(cost float64) {
+	a.cost += cost
+	a.meter.AddCost(cost)
+}
+
+// store simulates a Put, replacing any previous entry.
+func (a *accounting) store(k cache.UnitKey, bytes int64) {
+	if old, ok := a.qc[k]; ok {
+		a.qcBytes -= old
+	}
+	a.qc[k] = bytes
+	a.qcBytes += bytes
+}
+
+// applyUnit replays one unit query: a cached key is served, a missing one is
+// scanned (counted, charged) and stored.
+func (a *accounting) applyUnit(u unitUse) {
+	if !a.qcEnabled {
+		a.qcMisses++
+		a.executed++
+		a.meter.AddExecuted(1)
+		a.charge(u.cost)
+		return
+	}
+	if _, ok := a.qc[u.key]; ok {
+		a.qcHits++
+		a.served++
+		a.meter.AddServed(1)
+		return
+	}
+	a.qcMisses++
+	a.executed++
+	a.meter.AddExecuted(1)
+	a.charge(u.cost)
+	a.store(u.key, u.bytes)
+}
+
+// apply replays one usage event.
+func (a *accounting) apply(ev usageEvent) {
+	switch ev.kind {
+	case useUnit:
+		a.applyUnit(ev.unit)
+	case useEval:
+		if a.pcEnabled {
+			if _, ok := a.pc[ev.scope]; ok {
+				a.pcHits++
+				return
+			}
+			a.pc[ev.scope] = struct{}{}
+		}
+		a.pcMisses++
+		a.charge(a.evalCost)
+	case useImpact:
+		p := ev.impact
+		if a.qcEnabled {
+			// A cached unit on any unfiltered breakdown serves the impact
+			// value for free (uncounted peek, as in Engine.Impact).
+			for _, dim := range p.Probe {
+				if _, ok := a.qc[cache.UnitKey{Subspace: p.Subspace, Breakdown: dim}]; ok {
+					return
+				}
+			}
+		}
+		a.applyUnit(unitUse{key: p.Fallback, cost: p.Cost, bytes: p.Bytes})
+	case useSiblings:
+		s := ev.sibling
+		missing := false
+		for _, k := range s.scopes {
+			if _, ok := a.qc[k]; !ok {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return // every sibling unit cached: the prefetch is skipped
+		}
+		if s.failed {
+			a.prefetchFailures++
+			return
+		}
+		a.executed++
+		a.augmented++
+		a.meter.AddExecuted(1)
+		a.meter.AddAugmented(1)
+		a.charge(s.cost)
+		for _, sib := range s.siblings {
+			a.store(sib.key, sib.bytes)
+		}
+	}
+}
+
+// queryStats reports the simulated query cache as cache.Stats. Bytes is
+// best-effort: an impact-fallback unit observed only through a cached peek
+// reports size 0 (sizes are reporting-only and excluded from the
+// determinism guarantee).
+func (a *accounting) queryStats() cache.Stats {
+	return cache.Stats{
+		Hits:    a.qcHits,
+		Misses:  a.qcMisses,
+		Entries: int64(len(a.qc)),
+		Bytes:   a.qcBytes,
+	}
+}
+
+// patternStats reports the simulated pattern cache as cache.Stats.
+func (a *accounting) patternStats() cache.Stats {
+	return cache.Stats{
+		Hits:    a.pcHits,
+		Misses:  a.pcMisses,
+		Entries: int64(len(a.pc)),
+	}
+}

@@ -259,8 +259,9 @@ func WithFIFOQueues() Option {
 
 // WithProgress registers a callback invoked whenever the miner stores a new
 // MetaInsight, enabling progressive display during a budgeted run. The
-// callback may be invoked from multiple worker goroutines; it must be safe
-// for concurrent use and fast (it runs on the mining path).
+// callback is invoked serially from the miner's dispatcher goroutine, in
+// deterministic discovery order; it should be fast (it runs on the mining
+// path, pausing unit commits while it executes).
 func WithProgress(fn func(*MetaInsight)) Option {
 	return func(o *analyzerOptions) { o.minerCfg.OnMetaInsight = fn }
 }
