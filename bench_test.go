@@ -17,6 +17,7 @@ import (
 	"metainsight/internal/experiments"
 	"metainsight/internal/miner"
 	"metainsight/internal/model"
+	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
 	"metainsight/internal/quickinsight"
 	"metainsight/internal/ranker"
@@ -382,6 +383,31 @@ func BenchmarkMinerWorkers8(b *testing.B) { benchWorkers(b, 8) }
 func BenchmarkParallelScaling(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchWorkers(b, w) })
+	}
+}
+
+// BenchmarkParallelScalingObserved is BenchmarkParallelScaling with the
+// observability layer attached (metrics, phase timers and a tracing ring per
+// run), measuring the observer's overhead on the scaling curve. CI runs this
+// once as a smoke test of the instrumented path.
+func BenchmarkParallelScalingObserved(b *testing.B) {
+	tab := workload.TabletSales()
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ob := obs.New(obs.Options{TraceCapacity: 1 << 14})
+				setup := experiments.FullFunctionality()
+				setup.Workers = w
+				setup.Observer = ob
+				res, _ := setup.Run(tab)
+				if len(res.MetaInsights) == 0 {
+					b.Fatal("no results")
+				}
+				if ob.Trace().Len() == 0 {
+					b.Fatal("no trace events recorded")
+				}
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	metainsight -csv data.csv [-k 10] [-budget 10s] [-tau 0.5] [-workers 8]
-//	            [-flat] [-max-card 50]
+//	            [-flat] [-max-card 50] [-trace run.jsonl] [-metrics]
 package main
 
 import (
@@ -30,6 +30,8 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the suggested insights as a JSON array")
 		derive  = flag.String("derive", "", "derive Year/Quarter/Month/Weekday columns from this date column before mining")
 		report  = flag.String("report", "", "write a markdown EDA report to this file")
+		trace   = flag.String("trace", "", "write the structured run trace (JSONL, commit order) to this file")
+		metrics = flag.Bool("metrics", false, "print the metrics snapshot (counters, gauges, phase timers) after the run")
 	)
 	flag.Parse()
 	if *csvPath == "" {
@@ -65,6 +67,15 @@ func main() {
 	if *budget > 0 {
 		opts = append(opts, metainsight.WithTimeBudget(*budget))
 	}
+	var ob *metainsight.Observer
+	if *trace != "" || *metrics {
+		obOpts := metainsight.ObserverOptions{}
+		if *trace != "" {
+			obOpts.TraceCapacity = 1 << 16
+		}
+		ob = metainsight.NewObserver(obOpts)
+		opts = append(opts, metainsight.WithObserver(ob))
+	}
 	a, err := metainsight.NewAnalyzer(tab, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metainsight:", err)
@@ -74,6 +85,33 @@ func main() {
 	result := a.Mine()
 	top := a.Rank(result, *k)
 
+	// observability epilogue: trace file, metrics snapshot, stats one-liner.
+	// In JSON mode the extras go to stderr so stdout stays parseable.
+	epilogue := func(w *os.File) {
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metainsight:", err)
+				os.Exit(1)
+			}
+			if err := ob.Trace().WriteJSONL(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "metainsight:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "metainsight:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "\ntrace: %d events written to %s (%d dropped by ring)\n",
+				ob.Trace().Len(), *trace, ob.Trace().Dropped())
+		}
+		if *metrics {
+			fmt.Fprintf(w, "\n%s\n", a.Snapshot().Text())
+		}
+		fmt.Fprintf(w, "\nstats: %s\n", result.Stats)
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -81,6 +119,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "metainsight:", err)
 			os.Exit(1)
 		}
+		epilogue(os.Stderr)
 		return
 	}
 
@@ -114,4 +153,6 @@ func main() {
 		}
 		fmt.Printf("\nreport written to %s\n", *report)
 	}
+
+	epilogue(os.Stdout)
 }

@@ -203,6 +203,28 @@ func (c *QueryCache) Snapshot() map[UnitKey]int64 {
 	return out
 }
 
+// ShardStats returns per-shard entry counts and approximate byte sizes, in
+// shard order. Hit/miss counters are cache-global (kept atomic off the shard
+// locks) and therefore zero in each entry; the observability layer publishes
+// shard occupancy to make hash-skew across the lock shards visible.
+func (c *QueryCache) ShardStats() []Stats {
+	out := make([]Stats, shardCount)
+	if !c.enabled {
+		return out
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		var bytes int64
+		for _, u := range s.units {
+			bytes += u.ApproxBytes()
+		}
+		out[i] = Stats{Entries: int64(len(s.units)), Bytes: bytes}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *QueryCache) Stats() Stats {
 	var entries int64
@@ -331,6 +353,22 @@ func (c *PatternCache[V]) KeySet() map[string]struct{} {
 		for k := range s.entries {
 			out[k] = struct{}{}
 		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// ShardStats returns per-shard entry counts, in shard order; see
+// QueryCache.ShardStats.
+func (c *PatternCache[V]) ShardStats() []Stats {
+	out := make([]Stats, shardCount)
+	if !c.enabled {
+		return out
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		out[i] = Stats{Entries: int64(len(s.entries))}
 		s.mu.RUnlock()
 	}
 	return out

@@ -20,6 +20,7 @@ import (
 	"metainsight/internal/cache"
 	"metainsight/internal/dataset"
 	"metainsight/internal/model"
+	"metainsight/internal/obs"
 )
 
 // CostModel assigns deterministic cost units to engine work. Units are
@@ -118,6 +119,7 @@ type Engine struct {
 	qc       *cache.QueryCache
 	cost     CostModel
 	meter    *Meter
+	obs      *obs.Observer
 	totalImp float64
 
 	// Single-flight groups. Metered and quiet paths use separate groups: a
@@ -142,6 +144,13 @@ type Config struct {
 	Cost CostModel
 	// Meter receives cost and query accounting; nil creates a fresh meter.
 	Meter *Meter
+	// Observer, when non-nil, receives physical execution metrics
+	// ("engine.physical.*": scans actually performed and rows actually
+	// visited, counted via atomics on every scan path). Physical counts
+	// reflect real work — unlike the canonical counters in miner.Stats they
+	// may vary with worker count and budget timing — and never influence
+	// query results or metering.
+	Observer *obs.Observer
 }
 
 // New creates an engine over tab.
@@ -171,6 +180,7 @@ func New(tab *dataset.Table, cfg Config) (*Engine, error) {
 		qc:       cfg.QueryCache,
 		cost:     cfg.Cost,
 		meter:    cfg.Meter,
+		obs:      cfg.Observer,
 	}
 	for _, m := range cfg.Measures {
 		if err := e.checkMeasure(m); err != nil {
@@ -196,6 +206,22 @@ func (e *Engine) checkMeasure(m model.Measure) error {
 	}
 	return nil
 }
+
+// recordScan counts one physical scan on the observer (a no-op when no
+// observer is attached). Counted on every path that actually visits rows —
+// metered and quiet alike — so "engine.physical.*" reports the machine's
+// real work, complementing the canonical (worker-count-invariant) accounting
+// in miner.Stats.
+func (e *Engine) recordScan(rows int, augmented bool) {
+	e.obs.Count("engine.physical.scans", 1)
+	e.obs.Count("engine.physical.rows", int64(rows))
+	if augmented {
+		e.obs.Count("engine.physical.augmented_scans", 1)
+	}
+}
+
+// Observer returns the engine's attached observer (possibly nil).
+func (e *Engine) Observer() *obs.Observer { return e.obs }
 
 // Table returns the table the engine queries.
 func (e *Engine) Table() *dataset.Table { return e.tab }
@@ -267,6 +293,7 @@ func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, e
 			return unitRes{u: u}
 		}
 		u, scanned := e.scanUnit(subspace, breakdown)
+		e.recordScan(scanned, false)
 		e.meter.executed.Add(1)
 		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
 		e.qc.Put(u)
@@ -310,6 +337,7 @@ func (e *Engine) AugmentedQuery(ds model.DataScope, d string) (map[string]*cache
 	key := augKey{base: base.Key(), breakdown: ds.Breakdown, ext: d}
 	units, leader := e.meteredAug.Do(key, func() map[string]*cache.Unit {
 		units, scanned := e.scanAugmented(base, ds.Breakdown, d)
+		e.recordScan(scanned, true)
 		e.meter.executed.Add(1)
 		e.meter.augmented.Add(1)
 		// One scan answers |dom(d)| sibling queries; charge a single round
@@ -345,7 +373,8 @@ func (e *Engine) MaterializeUnit(subspace model.Subspace, breakdown string) (*ca
 		if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
 			return u // raced with another leader's Put
 		}
-		u, _ := e.scanUnit(subspace, breakdown)
+		u, scanned := e.scanUnit(subspace, breakdown)
+		e.recordScan(scanned, false)
 		e.qc.Put(u)
 		return u
 	})
@@ -375,7 +404,8 @@ func (e *Engine) MaterializeAugmented(ds model.DataScope, d string) (map[string]
 	base := ds.Subspace.Without(d)
 	key := augKey{base: base.Key(), breakdown: ds.Breakdown, ext: d}
 	units, _ := e.quietAug.Do(key, func() map[string]*cache.Unit {
-		units, _ := e.scanAugmented(base, ds.Breakdown, d)
+		units, scanned := e.scanAugmented(base, ds.Breakdown, d)
+		e.recordScan(scanned, true)
 		for _, u := range units {
 			e.qc.Put(u)
 		}

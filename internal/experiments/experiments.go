@@ -22,6 +22,7 @@ import (
 	"metainsight/internal/dataset"
 	"metainsight/internal/engine"
 	"metainsight/internal/miner"
+	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
 )
 
@@ -45,6 +46,10 @@ type Setup struct {
 	// the Figure 7 query accounting; the default merged priority queue lets
 	// augmented prefetches also serve the pattern module.
 	PatternsFirst bool
+	// Observer, when set, attaches the observability layer to the run.
+	// Observers are inert: results and statistics must be bit-identical with
+	// or without one (Smoke asserts this in CI).
+	Observer *obs.Observer
 }
 
 // FullFunctionality is the paper's golden configuration: all optimizations
@@ -59,6 +64,7 @@ func (s Setup) Run(tab *dataset.Table) (*miner.Result, *engine.Engine) {
 	eng, err := engine.New(tab, engine.Config{
 		QueryCache: cache.NewQueryCache(s.QueryCache),
 		Meter:      meter,
+		Observer:   s.Observer,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -80,6 +86,7 @@ func (s Setup) Run(tab *dataset.Table) (*miner.Result, *engine.Engine) {
 		cfg.MaxSubspaceFilters = s.MaxSubspaceFilters
 	}
 	cfg.PatternsFirst = s.PatternsFirst
+	cfg.Observer = s.Observer
 	if s.DisablePruning {
 		cfg.EnablePruning1 = false
 		cfg.EnablePruning2 = false

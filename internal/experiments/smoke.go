@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"metainsight/internal/miner"
+	"metainsight/internal/obs"
 	"metainsight/internal/workload"
 )
 
@@ -12,21 +13,23 @@ import (
 // under a short cost budget at Workers=1 and Workers=8 and verifies the two
 // runs report identical results and bit-identical accounting (the worker-
 // count invariance the engine's single-flight execution and the miner's
-// canonical-order commit guarantee). A non-nil error means the invariant is
-// broken.
+// canonical-order commit guarantee). A third W=8 run with a tracing observer
+// attached must match too — the observability layer is required to be inert.
+// A non-nil error means an invariant is broken.
 func Smoke(w io.Writer) error {
 	tab := workload.CreditCard()
 	const budget = 400
 
-	run := func(workers int) (map[string]bool, miner.Stats) {
+	run := func(workers int, ob *obs.Observer) (map[string]bool, miner.Stats) {
 		s := FullFunctionality()
 		s.Workers = workers
 		s.BudgetUnits = budget
+		s.Observer = ob
 		res, _ := s.Run(tab)
 		return res.Keys(), res.Stats
 	}
-	oneKeys, oneStats := run(1)
-	eightKeys, eightStats := run(8)
+	oneKeys, oneStats := run(1, nil)
+	eightKeys, eightStats := run(8, nil)
 
 	fprintf(w, "Smoke: %s, budget %d cost units\n", tab.Name(), budget)
 	fprintf(w, "  W=1: %d MetaInsights, %d executed queries, cost %.3f\n",
@@ -54,5 +57,28 @@ func Smoke(w io.Writer) error {
 		return fmt.Errorf("smoke: stats differ\n  W=1: %+v\n  W=8: %+v", a, b)
 	}
 	fprintf(w, "  accounting identical across worker counts\n")
+
+	// Observer inertness: a W=8 run with metrics + tracing enabled must be
+	// indistinguishable from the untraced runs.
+	ob := obs.New(obs.Options{TraceCapacity: 1 << 14})
+	obsKeys, obsStats := run(8, ob)
+	if len(obsKeys) != len(oneKeys) {
+		return fmt.Errorf("smoke: observer changed result count: %d vs %d", len(obsKeys), len(oneKeys))
+	}
+	for k := range oneKeys {
+		if !obsKeys[k] {
+			return fmt.Errorf("smoke: %q mined without observer but not with it", k)
+		}
+	}
+	c := obsStats
+	c.QueryCacheStats.Bytes = 0
+	if c != a {
+		return fmt.Errorf("smoke: observer changed stats\n  plain: %+v\n  observed: %+v", a, c)
+	}
+	if ob.Trace().Len() == 0 {
+		return fmt.Errorf("smoke: observer recorded no trace events")
+	}
+	fprintf(w, "  observer inert: identical results and accounting with tracing on (%d events)\n",
+		ob.Trace().Len())
 	return nil
 }

@@ -20,14 +20,18 @@
 package miner
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metainsight/internal/cache"
 	"metainsight/internal/core"
 	"metainsight/internal/engine"
 	"metainsight/internal/model"
+	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
 )
 
@@ -81,6 +85,12 @@ type Config struct {
 	// serially from the dispatcher goroutine, in deterministic discovery
 	// (commit) order.
 	OnMetaInsight func(*core.MetaInsight)
+	// Observer, when non-nil, receives run observability: metric counters
+	// and trace events recorded on the dispatcher's serial commit path (so
+	// trace order is the deterministic commit order), and phase timers
+	// accumulated via atomics. Observation is inert: results, statistics and
+	// budget spending are bit-identical with the observer on or off.
+	Observer *obs.Observer
 	// PatternsFirst schedules MetaInsight compute units only when no
 	// data-pattern work is pending, following the sequential reading of the
 	// paper's workflow (the data pattern mining module feeds the
@@ -113,18 +123,22 @@ func DefaultConfig() Config {
 // Stats aggregates counters from one mining run. All counters reflect
 // committed compute units only and are identical for any Workers value.
 type Stats struct {
-	ExpandUnits       int64 // subspace expansions processed
-	DataPatternUnits  int64 // data-pattern compute units processed
-	MetaInsightUnits  int64 // MetaInsight compute units processed
-	EmittedMIUnits    int64 // MetaInsight compute units emitted
-	PatternsFound     int64 // valid (scope, type) basic data patterns
-	Pruned1           int64 // HDP evaluations cut short by Pruning 1
-	Pruned2           int64 // MetaInsight units discarded by Pruning 2
-	PrefetchFailures  int64 // augmented prefetches that fell back to basic queries
-	ExecutedQueries   int64
-	AugmentedQueries  int64
-	CacheServed       int64
-	CostUsed          float64
+	ExpandUnits      int64 // subspace expansions processed
+	DataPatternUnits int64 // data-pattern compute units processed
+	MetaInsightUnits int64 // MetaInsight compute units processed
+	EmittedMIUnits   int64 // MetaInsight compute units emitted
+	PatternsFound    int64 // valid (scope, type) basic data patterns
+	Pruned1          int64 // HDP evaluations cut short by Pruning 1
+	Pruned2          int64 // MetaInsight units discarded by Pruning 2
+	PrefetchFailures int64 // augmented prefetches that fell back to basic queries
+	ExecutedQueries  int64
+	AugmentedQueries int64
+	CacheServed      int64
+	CostUsed         float64
+	// Cancelled reports that the run stopped early because its context was
+	// cancelled; the result holds the best-so-far MetaInsights committed up
+	// to the cancellation point.
+	Cancelled         bool
 	QueryCacheStats   cache.Stats
 	PatternCacheStats cache.Stats
 }
@@ -224,7 +238,15 @@ type specEntry struct {
 }
 
 // Run executes the mining procedure and returns all discovered MetaInsights.
-func (m *Miner) Run() *Result {
+func (m *Miner) Run() *Result { return m.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the context is checked at
+// every unit-commit boundary (the same whole-unit granularity as budget
+// checks), so a cancelled run stops promptly, never tears a commit in half,
+// and returns the best-so-far results with Stats.Cancelled set.
+func (m *Miner) RunContext(ctx context.Context) *Result {
+	o := m.cfg.Observer
+	initStart := time.Now()
 	patternQ := m.newQueue()
 	miQ := patternQ
 	if m.cfg.PatternsFirst {
@@ -238,7 +260,7 @@ func (m *Miner) Run() *Result {
 		maxDimIdx: -1,
 	})
 
-	m.acct = newAccounting(m.eng, m.pcache)
+	m.acct = newAccounting(m.eng, m.pcache, m.cfg.Observer)
 
 	workCh := make(chan *workUnit)
 	doneCh := make(chan *completion)
@@ -248,10 +270,20 @@ func (m *Miner) Run() *Result {
 		go func() {
 			defer wg.Done()
 			for u := range workCh {
+				if o != nil {
+					// Worker-side phase accounting is atomic-only and
+					// therefore inert; totals are CPU time across workers.
+					t0 := time.Now()
+					c := m.process(u)
+					o.Phase(u.kind.phase(), time.Since(t0))
+					doneCh <- c
+					continue
+				}
 				doneCh <- m.process(u)
 			}
 		}()
 	}
+	o.Phase(obs.PhaseInit, time.Since(initStart))
 
 	// spec holds dispatched-but-uncommitted units in dispatch order;
 	// inflight counts those still being processed. Speculation is bounded so
@@ -335,7 +367,13 @@ func (m *Miner) Run() *Result {
 	}
 
 	for {
+		if ctx.Err() != nil {
+			m.stats.Cancelled = true
+			o.Event(obs.EvCancel, "", "context cancelled; returning best-so-far results", 0)
+			break
+		}
 		if m.cfg.Budget.Exceeded() {
+			o.Event(obs.EvBudgetStop, "", fmt.Sprintf("cost=%.3f", m.acct.cost), 0)
 			break
 		}
 		next, entry := canonicalNext()
@@ -395,10 +433,27 @@ func (m *Miner) canonicalBefore(a, b *workUnit) bool {
 	return a.seq < b.seq
 }
 
+// commitCostBounds buckets the per-commit replayed cost (deterministic cost
+// units, so the histogram itself is worker-count-invariant).
+var commitCostBounds = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250}
+
 // commit applies one completed unit in canonical order: replay its usage
 // events against the simulated cache (charging the meter), fold its
 // counters, filter and enqueue its children, and record its MetaInsight.
+// All observability recording here runs on the dispatcher goroutine, so the
+// trace reads as the deterministic canonical execution.
 func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
+	o := m.cfg.Observer
+	traced := o.Tracing()
+	var t0 time.Time
+	var costBefore float64
+	if o != nil {
+		t0 = time.Now()
+		costBefore = m.acct.cost
+	}
+	if traced {
+		o.Event(obs.EvPop, describeUnit(c.unit), c.unit.kind.String(), 0)
+	}
 	for _, ev := range c.events {
 		m.acct.apply(ev)
 	}
@@ -407,6 +462,16 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	m.stats.MetaInsightUnits += c.delta.metaInsightUnits
 	m.stats.PatternsFound += c.delta.patternsFound
 	m.stats.Pruned1 += c.delta.pruned1
+	if o != nil {
+		o.Count("miner.units.expand", c.delta.expandUnits)
+		o.Count("miner.units.datapattern", c.delta.dataPatternUnits)
+		o.Count("miner.units.metainsight", c.delta.metaInsightUnits)
+		o.Count("miner.patterns.found", c.delta.patternsFound)
+		o.Count("miner.pruned1", c.delta.pruned1)
+		if traced && c.delta.pruned1 > 0 {
+			o.Event(obs.EvPrune, describeUnit(c.unit), "pruning1", 0)
+		}
+	}
 
 	for _, u := range c.produced {
 		if u.kind == kindMetaInsight {
@@ -414,11 +479,19 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 			// first unit in canonical order wins, independent of which
 			// worker raced where.
 			if m.seenMI[u.miKey] {
+				o.Count("miner.dedup", 1)
+				if traced {
+					o.Event(obs.EvDedup, u.miKey, "", 0)
+				}
 				continue
 			}
 			m.seenMI[u.miKey] = true
 			if m.cfg.EnablePruning2 && minClamp(u.impactHDS) < m.cfg.MinImpact {
 				m.stats.Pruned2++
+				o.Count("miner.pruned2", 1)
+				if traced {
+					o.Event(obs.EvPrune, u.miKey, "pruning2", 0)
+				}
 				continue
 			}
 			m.stats.EmittedMIUnits++
@@ -435,10 +508,33 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	if c.mi != nil {
 		if _, exists := m.results[c.mi.Key()]; !exists {
 			m.results[c.mi.Key()] = c.mi
+			o.Count("miner.stored", 1)
+			if traced {
+				o.Event(obs.EvStore, c.mi.Key(), fmt.Sprintf("score=%.6f", c.mi.Score), 0)
+			}
 			if m.cfg.OnMetaInsight != nil {
 				m.cfg.OnMetaInsight(c.mi)
 			}
 		}
+	}
+
+	if o != nil {
+		o.Observe("miner.commit.cost_units", commitCostBounds, m.acct.cost-costBefore)
+		o.Phase(obs.PhaseCommit, time.Since(t0))
+	}
+}
+
+// describeUnit renders a compact, deterministic trace label for a unit.
+func describeUnit(u *workUnit) string {
+	switch u.kind {
+	case kindExpand:
+		return u.subspace.Key()
+	case kindDataPattern:
+		return u.subspace.Key() + "|" + u.breakdown
+	case kindMetaInsight:
+		return u.miKey
+	default:
+		return "?"
 	}
 }
 
@@ -468,6 +564,21 @@ func (m *Miner) finish() *Result {
 	m.stats.PrefetchFailures = m.acct.prefetchFailures
 	m.stats.QueryCacheStats = m.acct.queryStats()
 	m.stats.PatternCacheStats = m.acct.patternStats()
+	if o := m.cfg.Observer; o != nil {
+		// End-of-run gauges carry the canonical (worker-count-invariant)
+		// accounting; the live counters above track progressive commit-side
+		// progress and the engine.physical.* counters real machine work.
+		o.SetGauge("miner.cost_used", m.stats.CostUsed)
+		o.SetGauge("miner.queries.executed", float64(m.stats.ExecutedQueries))
+		o.SetGauge("miner.queries.augmented", float64(m.stats.AugmentedQueries))
+		o.SetGauge("miner.queries.cache_served", float64(m.stats.CacheServed))
+		o.SetGauge("miner.prefetch.failures", float64(m.stats.PrefetchFailures))
+		o.SetGauge("miner.qcache.hit_rate", m.stats.QueryCacheStats.HitRate())
+		o.SetGauge("miner.qcache.entries", float64(m.stats.QueryCacheStats.Entries))
+		o.SetGauge("miner.qcache.bytes", float64(m.stats.QueryCacheStats.Bytes))
+		o.SetGauge("miner.pcache.hit_rate", m.stats.PatternCacheStats.HitRate())
+		o.SetGauge("miner.pcache.entries", float64(m.stats.PatternCacheStats.Entries))
+	}
 	return &Result{MetaInsights: out, Stats: m.stats}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"metainsight/internal/core"
 	"metainsight/internal/model"
+	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
 )
 
@@ -24,6 +25,29 @@ const (
 	// mining module.
 	kindMetaInsight
 )
+
+// String returns the stable trace label of the kind.
+func (k unitKind) String() string {
+	switch k {
+	case kindExpand:
+		return "expand"
+	case kindDataPattern:
+		return "data-pattern"
+	case kindMetaInsight:
+		return "metainsight"
+	default:
+		return "unit(?)"
+	}
+}
+
+// phase maps a unit kind to its observability phase: subspace expansion vs
+// pattern/MetaInsight evaluation.
+func (k unitKind) phase() obs.Phase {
+	if k == kindExpand {
+		return obs.PhaseExpand
+	}
+	return obs.PhaseEvaluate
+}
 
 // workUnit is a compute unit. Exactly the fields for its kind are set.
 type workUnit struct {

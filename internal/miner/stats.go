@@ -1,0 +1,123 @@
+package miner
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"metainsight/internal/cache"
+)
+
+// String renders the run counters as a one-line human-readable summary, the
+// end-of-run line the CLI and service callers print.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "units[expand=%d pattern=%d mi=%d emitted=%d]",
+		s.ExpandUnits, s.DataPatternUnits, s.MetaInsightUnits, s.EmittedMIUnits)
+	fmt.Fprintf(&b, " patterns=%d pruned[p1=%d p2=%d]", s.PatternsFound, s.Pruned1, s.Pruned2)
+	fmt.Fprintf(&b, " queries[exec=%d aug=%d served=%d]",
+		s.ExecutedQueries, s.AugmentedQueries, s.CacheServed)
+	fmt.Fprintf(&b, " cost=%.1f qcache=%.1f%% pcache=%.1f%%",
+		s.CostUsed, 100*s.QueryCacheStats.HitRate(), 100*s.PatternCacheStats.HitRate())
+	if s.PrefetchFailures > 0 {
+		fmt.Fprintf(&b, " prefetch-failures=%d", s.PrefetchFailures)
+	}
+	if s.Cancelled {
+		b.WriteString(" cancelled")
+	}
+	return b.String()
+}
+
+// cacheStatsJSON fixes the wire names of cache.Stats.
+type cacheStatsJSON struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Entries int64   `json:"entries"`
+	Bytes   int64   `json:"bytes"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func toCacheStatsJSON(s cache.Stats) cacheStatsJSON {
+	return cacheStatsJSON{
+		Hits:    s.Hits,
+		Misses:  s.Misses,
+		Entries: s.Entries,
+		Bytes:   s.Bytes,
+		HitRate: s.HitRate(),
+	}
+}
+
+// statsJSON fixes the stable wire names of Stats. Fields marshal in
+// declaration order, so the encoding is byte-stable for equal values.
+type statsJSON struct {
+	ExpandUnits      int64          `json:"expand_units"`
+	DataPatternUnits int64          `json:"data_pattern_units"`
+	MetaInsightUnits int64          `json:"metainsight_units"`
+	EmittedMIUnits   int64          `json:"emitted_metainsight_units"`
+	PatternsFound    int64          `json:"patterns_found"`
+	Pruned1          int64          `json:"pruned_1"`
+	Pruned2          int64          `json:"pruned_2"`
+	PrefetchFailures int64          `json:"prefetch_failures"`
+	ExecutedQueries  int64          `json:"executed_queries"`
+	AugmentedQueries int64          `json:"augmented_queries"`
+	CacheServed      int64          `json:"cache_served"`
+	CostUsed         float64        `json:"cost_used"`
+	Cancelled        bool           `json:"cancelled"`
+	QueryCache       cacheStatsJSON `json:"query_cache"`
+	PatternCache     cacheStatsJSON `json:"pattern_cache"`
+}
+
+// MarshalJSON serializes the stats under stable snake_case field names, so
+// CLI and service callers can consume runs without reformatting the struct
+// by hand.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON{
+		ExpandUnits:      s.ExpandUnits,
+		DataPatternUnits: s.DataPatternUnits,
+		MetaInsightUnits: s.MetaInsightUnits,
+		EmittedMIUnits:   s.EmittedMIUnits,
+		PatternsFound:    s.PatternsFound,
+		Pruned1:          s.Pruned1,
+		Pruned2:          s.Pruned2,
+		PrefetchFailures: s.PrefetchFailures,
+		ExecutedQueries:  s.ExecutedQueries,
+		AugmentedQueries: s.AugmentedQueries,
+		CacheServed:      s.CacheServed,
+		CostUsed:         s.CostUsed,
+		Cancelled:        s.Cancelled,
+		QueryCache:       toCacheStatsJSON(s.QueryCacheStats),
+		PatternCache:     toCacheStatsJSON(s.PatternCacheStats),
+	})
+}
+
+// UnmarshalJSON parses the stable wire format back into Stats.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var j statsJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*s = Stats{
+		ExpandUnits:      j.ExpandUnits,
+		DataPatternUnits: j.DataPatternUnits,
+		MetaInsightUnits: j.MetaInsightUnits,
+		EmittedMIUnits:   j.EmittedMIUnits,
+		PatternsFound:    j.PatternsFound,
+		Pruned1:          j.Pruned1,
+		Pruned2:          j.Pruned2,
+		PrefetchFailures: j.PrefetchFailures,
+		ExecutedQueries:  j.ExecutedQueries,
+		AugmentedQueries: j.AugmentedQueries,
+		CacheServed:      j.CacheServed,
+		CostUsed:         j.CostUsed,
+		Cancelled:        j.Cancelled,
+		QueryCacheStats: cache.Stats{
+			Hits: j.QueryCache.Hits, Misses: j.QueryCache.Misses,
+			Entries: j.QueryCache.Entries, Bytes: j.QueryCache.Bytes,
+		},
+		PatternCacheStats: cache.Stats{
+			Hits: j.PatternCache.Hits, Misses: j.PatternCache.Misses,
+			Entries: j.PatternCache.Entries, Bytes: j.PatternCache.Bytes,
+		},
+	}
+	return nil
+}

@@ -1,8 +1,11 @@
 package miner
 
 import (
+	"fmt"
+
 	"metainsight/internal/cache"
 	"metainsight/internal/engine"
+	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
 )
 
@@ -114,6 +117,12 @@ type accounting struct {
 	qcEnabled bool
 	pcEnabled bool
 	evalCost  float64
+	// obs receives one trace event per replayed charge/lookup. The replay
+	// runs on the dispatcher goroutine in commit order, so the emitted
+	// events read as the canonical single-worker execution; traced caches
+	// the Tracing() check so untraced runs skip label construction.
+	obs    *obs.Observer
+	traced bool
 
 	qc      map[cache.UnitKey]int64 // simulated query cache: key → bytes
 	pc      map[string]struct{}     // simulated pattern cache
@@ -131,12 +140,14 @@ type accounting struct {
 // newAccounting creates the simulation, seeded from the physical caches'
 // current contents so warm caches shared across runs are credited with the
 // hits they will serve.
-func newAccounting(eng *engine.Engine, pc *cache.PatternCache[*pattern.ScopeEvaluation]) *accounting {
+func newAccounting(eng *engine.Engine, pc *cache.PatternCache[*pattern.ScopeEvaluation], o *obs.Observer) *accounting {
 	a := &accounting{
 		meter:     eng.Meter(),
 		qcEnabled: eng.QueryCache().Enabled(),
 		pcEnabled: pc.Enabled(),
 		evalCost:  eng.EvaluationCost(),
+		obs:       o,
+		traced:    o.Tracing(),
 		qc:        eng.QueryCache().Snapshot(),
 		pc:        pc.KeySet(),
 	}
@@ -160,6 +171,10 @@ func (a *accounting) store(k cache.UnitKey, bytes int64) {
 	a.qcBytes += bytes
 }
 
+// keyLabel renders a unit key as a trace label, matching DataScope.Key's
+// "subspace|breakdown" shape.
+func keyLabel(k cache.UnitKey) string { return k.Subspace + "|" + k.Breakdown }
+
 // applyUnit replays one unit query: a cached key is served, a missing one is
 // scanned (counted, charged) and stored.
 func (a *accounting) applyUnit(u unitUse) {
@@ -168,12 +183,18 @@ func (a *accounting) applyUnit(u unitUse) {
 		a.executed++
 		a.meter.AddExecuted(1)
 		a.charge(u.cost)
+		if a.traced {
+			a.obs.Event(obs.EvQueryExec, keyLabel(u.key), "query-cache disabled", u.cost)
+		}
 		return
 	}
 	if _, ok := a.qc[u.key]; ok {
 		a.qcHits++
 		a.served++
 		a.meter.AddServed(1)
+		if a.traced {
+			a.obs.Event(obs.EvCacheHit, keyLabel(u.key), "query-cache", 0)
+		}
 		return
 	}
 	a.qcMisses++
@@ -181,6 +202,10 @@ func (a *accounting) applyUnit(u unitUse) {
 	a.meter.AddExecuted(1)
 	a.charge(u.cost)
 	a.store(u.key, u.bytes)
+	if a.traced {
+		a.obs.Event(obs.EvCacheMiss, keyLabel(u.key), "query-cache", 0)
+		a.obs.Event(obs.EvQueryExec, keyLabel(u.key), "", u.cost)
+	}
 }
 
 // apply replays one usage event.
@@ -192,12 +217,18 @@ func (a *accounting) apply(ev usageEvent) {
 		if a.pcEnabled {
 			if _, ok := a.pc[ev.scope]; ok {
 				a.pcHits++
+				if a.traced {
+					a.obs.Event(obs.EvCacheHit, ev.scope, "pattern-cache", 0)
+				}
 				return
 			}
 			a.pc[ev.scope] = struct{}{}
 		}
 		a.pcMisses++
 		a.charge(a.evalCost)
+		if a.traced {
+			a.obs.Event(obs.EvPatternEval, ev.scope, "", a.evalCost)
+		}
 	case useImpact:
 		p := ev.impact
 		if a.qcEnabled {
@@ -205,6 +236,9 @@ func (a *accounting) apply(ev usageEvent) {
 			// value for free (uncounted peek, as in Engine.Impact).
 			for _, dim := range p.Probe {
 				if _, ok := a.qc[cache.UnitKey{Subspace: p.Subspace, Breakdown: dim}]; ok {
+					if a.traced {
+						a.obs.Event(obs.EvCacheHit, p.Subspace+"|"+dim, "impact-probe", 0)
+					}
 					return
 				}
 			}
@@ -219,11 +253,22 @@ func (a *accounting) apply(ev usageEvent) {
 				break
 			}
 		}
+		rep := ""
+		if a.traced && len(s.scopes) > 0 {
+			rep = keyLabel(s.scopes[0])
+		}
 		if !missing {
-			return // every sibling unit cached: the prefetch is skipped
+			// Every sibling unit cached: the prefetch is skipped.
+			if a.traced {
+				a.obs.Event(obs.EvCacheHit, rep, "prefetch skipped: all siblings cached", 0)
+			}
+			return
 		}
 		if s.failed {
 			a.prefetchFailures++
+			if a.traced {
+				a.obs.Event(obs.EvCacheMiss, rep, "augmented prefetch failed; per-sibling fallback", 0)
+			}
 			return
 		}
 		a.executed++
@@ -233,6 +278,10 @@ func (a *accounting) apply(ev usageEvent) {
 		a.charge(s.cost)
 		for _, sib := range s.siblings {
 			a.store(sib.key, sib.bytes)
+		}
+		if a.traced {
+			a.obs.Event(obs.EvQueryExec, rep,
+				fmt.Sprintf("augmented prefetch: %d siblings", len(s.siblings)), s.cost)
 		}
 	}
 }

@@ -204,14 +204,30 @@ func RankByScore(cands []*core.MetaInsight, k int) []*core.MetaInsight {
 	return out
 }
 
+// SelectionStats reports the work one Greedy selection performed, for the
+// observability layer: pool and selection sizes plus the number of pairwise
+// Overlap evaluations the incremental-penalty loop computed.
+type SelectionStats struct {
+	Pool         int
+	Selected     int
+	OverlapEvals int64
+}
+
 // Greedy is the paper's ranking algorithm: second-order approximation solved
 // greedily. The selection starts from the highest-scoring MetaInsight; each
 // iteration adds the candidate with the largest marginal gain
 // |I| − Σ_{J ∈ S} |I ∩ J| until k MetaInsights are selected.
 func Greedy(cands []*core.MetaInsight, k int, w Weights) []*core.MetaInsight {
+	out, _ := GreedyStats(cands, k, w)
+	return out
+}
+
+// GreedyStats is Greedy plus a SelectionStats report of the work performed.
+func GreedyStats(cands []*core.MetaInsight, k int, w Weights) ([]*core.MetaInsight, SelectionStats) {
 	if k <= 0 || len(cands) == 0 {
-		return nil
+		return nil, SelectionStats{Pool: len(cands)}
 	}
+	st := SelectionStats{Pool: len(cands)}
 	pool := sortByScore(cands)
 	selected := []*core.MetaInsight{pool[0]}
 	used := map[*core.MetaInsight]bool{pool[0]: true}
@@ -227,6 +243,7 @@ func Greedy(cands []*core.MetaInsight, k int, w Weights) []*core.MetaInsight {
 				continue
 			}
 			penalty[i] += Overlap([]*core.MetaInsight{c, last}, w)
+			st.OverlapEvals++
 			gain := c.Score - penalty[i]
 			if gain > bestGain {
 				bestGain, bestIdx = gain, i
@@ -239,7 +256,8 @@ func Greedy(cands []*core.MetaInsight, k int, w Weights) []*core.MetaInsight {
 		used[last] = true
 		selected = append(selected, last)
 	}
-	return selected
+	st.Selected = len(selected)
+	return selected, st
 }
 
 // ExactTopK is the standalone exact baseline of Table 4: it enumerates all

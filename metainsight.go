@@ -33,7 +33,9 @@
 package metainsight
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -45,6 +47,7 @@ import (
 	"metainsight/internal/engine"
 	"metainsight/internal/miner"
 	"metainsight/internal/model"
+	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
 	"metainsight/internal/ranker"
 	"metainsight/internal/render"
@@ -86,7 +89,25 @@ type (
 	// similarity, commonness/exception categorization and scoring exactly
 	// like the built-ins.
 	CustomPattern = pattern.CustomEvaluator
+	// Observer collects metrics, phase timings and (optionally) a structured
+	// run trace from an analysis. Attach one with WithObserver; read it back
+	// with Analyzer.Snapshot or Observer.Trace. Observers are provably inert:
+	// attaching one never changes mining results or statistics.
+	Observer = obs.Observer
+	// ObserverOptions configures NewObserver.
+	ObserverOptions = obs.Options
+	// MetricsSnapshot is a point-in-time copy of an observer's counters,
+	// gauges, histograms and phase timers, with stable JSON encoding.
+	MetricsSnapshot = obs.Snapshot
+	// TraceEvent is one structured run-trace event (pop, query execution,
+	// cache hit/miss, pattern evaluation, prune, dedup, store, budget stop).
+	TraceEvent = obs.Event
 )
+
+// NewObserver creates an observability collector to attach via WithObserver.
+// A zero ObserverOptions records metrics and phase timers only; set
+// TraceCapacity to also keep a ring-buffered structured run trace.
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
 
 // Column-kind constants, re-exported for schema construction.
 const (
@@ -179,6 +200,7 @@ type Analyzer struct {
 	meter      *engine.Meter
 	cfg        miner.Config
 	wts        ranker.Weights
+	obs        *obs.Observer
 	timeBudget time.Duration // anchored at each Mine call
 }
 
@@ -196,6 +218,7 @@ type analyzerOptions struct {
 	disableQC      bool
 	disablePC      bool
 	weights        ranker.Weights
+	observer       *obs.Observer
 }
 
 // WithMeasures sets the measure set M (default: SUM over every measure
@@ -228,12 +251,20 @@ func WithWorkers(n int) Option {
 	return func(o *analyzerOptions) { o.minerCfg.Workers = n }
 }
 
-// WithTau sets the commonness threshold τ (default 0.5).
+// WithTau sets the commonness threshold τ (default 0.5). Only τ is touched:
+// other score parameters set before or after this option are preserved, and
+// any left at zero are lazily defaulted when mining starts.
 func WithTau(tau float64) Option {
-	return func(o *analyzerOptions) {
-		o.minerCfg.Score = core.DefaultScoreParams()
-		o.minerCfg.Score.Tau = tau
-	}
+	return func(o *analyzerOptions) { o.minerCfg.Score.Tau = tau }
+}
+
+// WithObserver attaches an observability collector to the analysis: atomic
+// metrics and phase timers, plus (if the observer was built with a trace
+// capacity) a structured run trace recorded in deterministic commit order.
+// The observer is inert — results and statistics are bit-identical with or
+// without it, at any worker count. Read it back with Analyzer.Snapshot.
+func WithObserver(ob *Observer) Option {
+	return func(o *analyzerOptions) { o.observer = ob }
 }
 
 // WithMaxSubspaceFilters caps subspace depth (default 3).
@@ -297,6 +328,13 @@ func WithRankingWeights(w ranker.Weights) Option {
 	return func(o *analyzerOptions) { o.weights = w }
 }
 
+// ErrConflictingBudgets is returned by NewAnalyzer when both WithTimeBudget
+// and WithCostBudget are supplied. The two budgets have incompatible
+// semantics — cost budgets are deterministic and reproducible, time budgets
+// are not — so the library refuses to guess which one should win.
+var ErrConflictingBudgets = errors.New(
+	"metainsight: WithTimeBudget and WithCostBudget are mutually exclusive; pick one")
+
 // NewAnalyzer creates an analyzer over a dataset.
 func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 	o := analyzerOptions{
@@ -307,12 +345,16 @@ func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.timeBudget > 0 && o.costBudget > 0 {
+		return nil, ErrConflictingBudgets
+	}
 	meter := &engine.Meter{}
 	eng, err := engine.New(d, engine.Config{
 		Measures:      o.measures,
 		ImpactMeasure: o.impact,
 		QueryCache:    cache.NewQueryCache(!o.disableQC),
 		Meter:         meter,
+		Observer:      o.observer,
 	})
 	if err != nil {
 		return nil, err
@@ -327,31 +369,50 @@ func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 			cfg.Pattern.Custom = append(cfg.Pattern.Custom, correlationEvaluator(eng, pair[0], pair[1]))
 		}
 	}
-	if o.disablePC {
-		cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](false)
-	}
+	// The pattern cache is created here (not lazily per Mine call) so it
+	// persists across Mine calls like the query cache, and so Snapshot can
+	// report its stats.
+	cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](!o.disablePC)
+	cfg.Observer = o.observer
 	if o.costBudget > 0 {
 		cfg.Budget = engine.CostBudget{Meter: meter, Limit: o.costBudget}
 	}
-	return &Analyzer{eng: eng, meter: meter, cfg: cfg, wts: o.weights, timeBudget: o.timeBudget}, nil
+	return &Analyzer{
+		eng: eng, meter: meter, cfg: cfg, wts: o.weights,
+		obs: o.observer, timeBudget: o.timeBudget,
+	}, nil
 }
 
 // Mine runs the mining procedure, returning every qualified MetaInsight
-// candidate (deduplicated, score-descending) plus run statistics.
-func (a *Analyzer) Mine() *MiningResult {
+// candidate (deduplicated, score-descending) plus run statistics. It is
+// MineContext with a background context.
+func (a *Analyzer) Mine() *MiningResult { return a.MineContext(context.Background()) }
+
+// MineContext is Mine with cancellation: the context is checked at every
+// unit-commit boundary, so a cancelled run stops on a whole-unit boundary and
+// returns the best-so-far MetaInsights with Stats.Cancelled set. A run is
+// never torn mid-commit — everything in the result was fully accounted.
+func (a *Analyzer) MineContext(ctx context.Context) *MiningResult {
 	cfg := a.cfg
 	// Time budgets anchor at the call to Mine, not at analyzer creation,
 	// and never override an explicit cost budget.
 	if a.timeBudget > 0 && cfg.Budget == nil {
 		cfg.Budget = engine.NewTimeBudget(a.timeBudget)
 	}
-	return miner.New(a.eng, cfg).Run()
+	return miner.New(a.eng, cfg).RunContext(ctx)
 }
 
 // Rank selects the top-k MetaInsights with high usefulness and low
 // inter-MetaInsight redundancy (the paper's greedy second-order algorithm).
 func (a *Analyzer) Rank(result *MiningResult, k int) []*Insight {
-	top := ranker.Greedy(result.MetaInsights, k, a.wts)
+	t0 := time.Now()
+	top, sel := ranker.GreedyStats(result.MetaInsights, k, a.wts)
+	if a.obs.Enabled() {
+		a.obs.Phase(obs.PhaseRank, time.Since(t0))
+		a.obs.SetGauge("ranker.pool", float64(sel.Pool))
+		a.obs.SetGauge("ranker.selected", float64(sel.Selected))
+		a.obs.SetGauge("ranker.overlap_evals", float64(sel.OverlapEvals))
+	}
 	out := make([]*Insight, len(top))
 	for i, mi := range top {
 		out[i] = &Insight{mi: mi, namer: a.cfg.Pattern.TypeName}
@@ -359,18 +420,59 @@ func (a *Analyzer) Rank(result *MiningResult, k int) []*Insight {
 	return out
 }
 
+// Snapshot publishes the engine's meter and cache statistics as gauges into
+// the attached observer, then returns a point-in-time copy of all metrics,
+// phase timers and trace totals. Without an observer it returns an empty
+// snapshot. Reading a snapshot never perturbs the analysis.
+func (a *Analyzer) Snapshot() MetricsSnapshot {
+	if !a.obs.Enabled() {
+		return MetricsSnapshot{}
+	}
+	a.obs.SetGauge("engine.cost_units", a.meter.Cost())
+	a.obs.SetGauge("engine.queries.executed", float64(a.meter.ExecutedQueries()))
+	a.obs.SetGauge("engine.queries.served", float64(a.meter.ServedQueries()))
+	a.obs.SetGauge("engine.queries.augmented", float64(a.meter.AugmentedQueries()))
+	qs := a.eng.QueryCache().Stats()
+	a.obs.SetGauge("cache.query.hits", float64(qs.Hits))
+	a.obs.SetGauge("cache.query.misses", float64(qs.Misses))
+	a.obs.SetGauge("cache.query.entries", float64(qs.Entries))
+	a.obs.SetGauge("cache.query.bytes", float64(qs.Bytes))
+	for i, ss := range a.eng.QueryCache().ShardStats() {
+		a.obs.SetGauge(fmt.Sprintf("cache.query.shard.%02d.entries", i), float64(ss.Entries))
+	}
+	ps := a.cfg.PatternCache.Stats()
+	a.obs.SetGauge("cache.pattern.hits", float64(ps.Hits))
+	a.obs.SetGauge("cache.pattern.misses", float64(ps.Misses))
+	a.obs.SetGauge("cache.pattern.entries", float64(ps.Entries))
+	for i, ss := range a.cfg.PatternCache.ShardStats() {
+		a.obs.SetGauge(fmt.Sprintf("cache.pattern.shard.%02d.entries", i), float64(ss.Entries))
+	}
+	return a.obs.Snapshot()
+}
+
+// Observer returns the attached observer (nil when none was attached), for
+// direct access to the trace ring.
+func (a *Analyzer) Observer() *Observer { return a.obs }
+
 // Engine exposes the underlying query engine for advanced use (issuing
 // basic/augmented queries directly).
 func (a *Analyzer) Engine() *engine.Engine { return a.eng }
 
 // Analyze is the one-call API: mine with default configuration and return
-// the top-k ranked insights.
+// the top-k ranked insights. It is AnalyzeContext with a background context.
 func Analyze(d *Dataset, k int, opts ...Option) ([]*Insight, error) {
+	return AnalyzeContext(context.Background(), d, k, opts...)
+}
+
+// AnalyzeContext is Analyze with cancellation; see MineContext for the
+// cancellation contract. A cancelled run still ranks and returns whatever
+// was mined before the cancellation point.
+func AnalyzeContext(ctx context.Context, d *Dataset, k int, opts ...Option) ([]*Insight, error) {
 	a, err := NewAnalyzer(d, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return a.Rank(a.Mine(), k), nil
+	return a.Rank(a.MineContext(ctx), k), nil
 }
 
 // correlationEvaluator builds the scope-aware evaluator behind

@@ -1,0 +1,327 @@
+package metainsight_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"metainsight"
+	"metainsight/internal/workload"
+)
+
+// mineWorkload runs one budgeted mining pass and returns the result keys and
+// stats (query-cache bytes zeroed; sizes are reporting-only best-effort).
+func mineWorkload(t *testing.T, tab *metainsight.Dataset, workers int, ob *metainsight.Observer) (map[string]bool, metainsight.MiningStats) {
+	t.Helper()
+	opts := []metainsight.Option{
+		metainsight.WithCostBudget(800),
+		metainsight.WithWorkers(workers),
+	}
+	if ob != nil {
+		opts = append(opts, metainsight.WithObserver(ob))
+	}
+	a, err := metainsight.NewAnalyzer(tab, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Mine()
+	st := res.Stats
+	st.QueryCacheStats.Bytes = 0
+	return res.Keys(), st
+}
+
+// TestObserverInertness is the PR's acceptance criterion: on each of the four
+// Fig-6 workloads, mining with an observer attached (metrics + tracing) must
+// produce bit-identical results and statistics to mining without one, at
+// Workers=1 and Workers=8.
+func TestObserverInertness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mines four workloads eight times")
+	}
+	for _, tab := range workload.FourLargeDatasets() {
+		tab := tab
+		t.Run(tab.Name(), func(t *testing.T) {
+			t.Parallel()
+			baseKeys, baseStats := mineWorkload(t, tab, 1, nil)
+			if len(baseKeys) == 0 {
+				t.Fatal("baseline mined nothing")
+			}
+			for _, workers := range []int{1, 8} {
+				plainKeys, plainStats := mineWorkload(t, tab, workers, nil)
+				ob := metainsight.NewObserver(metainsight.ObserverOptions{TraceCapacity: 1 << 14})
+				obsKeys, obsStats := mineWorkload(t, tab, workers, ob)
+
+				if plainStats != baseStats {
+					t.Fatalf("W=%d stats differ from W=1 baseline:\n  %+v\n  %+v", workers, baseStats, plainStats)
+				}
+				if obsStats != plainStats {
+					t.Errorf("W=%d observer changed stats:\n  off: %+v\n  on:  %+v", workers, plainStats, obsStats)
+				}
+				if len(obsKeys) != len(plainKeys) {
+					t.Fatalf("W=%d observer changed result count: %d vs %d", workers, len(obsKeys), len(plainKeys))
+				}
+				for k := range plainKeys {
+					if !obsKeys[k] {
+						t.Errorf("W=%d: %q mined without observer but not with it", workers, k)
+					}
+				}
+				if ob.Trace().Len() == 0 {
+					t.Error("observer recorded no trace events")
+				}
+			}
+		})
+	}
+}
+
+// TestTraceStoreOrderMatchesDiscoveryOrder checks the trace contract: the
+// "store" events appear in exactly the deterministic discovery order that
+// WithProgress observes, and the trace round-trips through JSONL.
+func TestTraceStoreOrderMatchesDiscoveryOrder(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var discovered []string
+	ob := metainsight.NewObserver(metainsight.ObserverOptions{TraceCapacity: 1 << 14})
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales")),
+		metainsight.WithWorkers(8),
+		metainsight.WithObserver(ob),
+		metainsight.WithProgress(func(mi *metainsight.MetaInsight) {
+			discovered = append(discovered, mi.Key())
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.Mine()
+	if len(res.MetaInsights) == 0 || len(discovered) == 0 {
+		t.Fatal("mined nothing")
+	}
+
+	var stored []string
+	lastSeq := int64(0)
+	first := true
+	for _, ev := range ob.Trace().Events() {
+		if !first && ev.Seq <= lastSeq {
+			t.Fatalf("trace sequence not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq, first = ev.Seq, false
+		if ev.Kind.String() == "store" {
+			stored = append(stored, ev.Unit)
+		}
+	}
+	if len(stored) != len(discovered) {
+		t.Fatalf("trace has %d store events, WithProgress saw %d discoveries", len(stored), len(discovered))
+	}
+	for i := range stored {
+		if stored[i] != discovered[i] {
+			t.Fatalf("store order diverges at %d: trace %q vs progress %q", i, stored[i], discovered[i])
+		}
+	}
+
+	// JSONL round-trip: every line parses back into an equal event.
+	var buf bytes.Buffer
+	if err := ob.Trace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	events := ob.Trace().Events()
+	if len(lines) != len(events) {
+		t.Fatalf("JSONL has %d lines, trace holds %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var ev metainsight.TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if ev != events[i] {
+			t.Fatalf("line %d round-trip mismatch: %+v vs %+v", i, ev, events[i])
+		}
+	}
+}
+
+// TestMineContextCancellation checks the satellite contract: a cancelled
+// context stops mining at a unit-commit boundary and returns the best-so-far
+// result with Stats.Cancelled set.
+func TestMineContextCancellation(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newAnalyzer := func() *metainsight.Analyzer {
+		a, err := metainsight.NewAnalyzer(tab, metainsight.WithMeasures(metainsight.Sum("Sales")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	full := newAnalyzer().Mine()
+	if full.Stats.Cancelled {
+		t.Error("uncancelled run reported Cancelled")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first commit
+	res := newAnalyzer().MineContext(ctx)
+	if !res.Stats.Cancelled {
+		t.Error("cancelled run did not report Cancelled")
+	}
+	if len(res.MetaInsights) > len(full.MetaInsights) {
+		t.Errorf("cancelled run mined more than a full run: %d vs %d",
+			len(res.MetaInsights), len(full.MetaInsights))
+	}
+
+	// AnalyzeContext still ranks whatever was mined.
+	if _, err := metainsight.AnalyzeContext(ctx, tab, 5,
+		metainsight.WithMeasures(metainsight.Sum("Sales"))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConflictingBudgetsRejected checks the satellite contract: combining a
+// time budget with a cost budget is a construction-time error, not a silent
+// precedence rule.
+func TestConflictingBudgetsRejected(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = metainsight.NewAnalyzer(tab,
+		metainsight.WithTimeBudget(1e9),
+		metainsight.WithCostBudget(100))
+	if err == nil {
+		t.Fatal("NewAnalyzer accepted both a time budget and a cost budget")
+	}
+	if err != metainsight.ErrConflictingBudgets {
+		t.Errorf("err = %v, want ErrConflictingBudgets", err)
+	}
+}
+
+// TestWithTauComposes checks the WithTau fix: the option only touches τ, so a
+// run with the default τ passed explicitly is bit-identical to a run with no
+// options, and the remaining score parameters still receive their lazy
+// defaults.
+func TestWithTauComposes(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...metainsight.Option) metainsight.MiningStats {
+		opts = append(opts, metainsight.WithMeasures(metainsight.Sum("Sales")))
+		a, err := metainsight.NewAnalyzer(tab, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := a.Mine().Stats
+		st.QueryCacheStats.Bytes = 0
+		return st
+	}
+	if plain, tau := run(), run(metainsight.WithTau(0.5)); plain != tau {
+		t.Errorf("WithTau(default) changed the run:\n  plain: %+v\n  tau:   %+v", plain, tau)
+	}
+}
+
+// TestStatsStringAndJSON checks the MiningStats presentation satellite: the
+// one-line summary mentions the headline counters, and the JSON encoding uses
+// the stable snake_case names and round-trips.
+func TestStatsStringAndJSON(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := metainsight.NewAnalyzer(tab, metainsight.WithMeasures(metainsight.Sum("Sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Mine().Stats
+
+	line := st.String()
+	for _, want := range []string{"units[", "patterns=", "queries[", "cost="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("Stats.String() = %q: missing %q", line, want)
+		}
+	}
+	if strings.Contains(line, "cancelled") {
+		t.Errorf("Stats.String() = %q: spurious cancelled marker", line)
+	}
+
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"expand_units"`, `"data_pattern_units"`, `"metainsight_units"`,
+		`"patterns_found"`, `"executed_queries"`, `"cost_used"`,
+		`"cancelled"`, `"query_cache"`, `"pattern_cache"`, `"hit_rate"`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("stats JSON missing %s: %s", want, raw)
+		}
+	}
+	var back metainsight.MiningStats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Errorf("stats JSON round-trip mismatch:\n  in:  %+v\n  out: %+v", st, back)
+	}
+}
+
+// TestSnapshotPublishesEngineAndCacheGauges checks Analyzer.Snapshot: it
+// reflects the meter and cache state into gauges, includes phase timers, and
+// encodes stably.
+func TestSnapshotPublishesEngineAndCacheGauges(t *testing.T) {
+	header, records := houseRecords()
+	tab, err := metainsight.FromRecords("houses", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := metainsight.NewObserver(metainsight.ObserverOptions{})
+	a, err := metainsight.NewAnalyzer(tab,
+		metainsight.WithMeasures(metainsight.Sum("Sales")),
+		metainsight.WithObserver(ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Rank(a.Mine(), 5)
+
+	snap := a.Snapshot()
+	for _, g := range []string{
+		"engine.cost_units", "engine.queries.executed",
+		"cache.query.hits", "cache.query.entries",
+		"cache.pattern.hits", "cache.pattern.entries",
+		"miner.cost_used", "ranker.pool", "ranker.selected",
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("snapshot missing gauge %q", g)
+		}
+	}
+	if snap.Gauges["engine.cost_units"] <= 0 {
+		t.Error("engine.cost_units not positive after a run")
+	}
+	if len(snap.PhaseSeconds) == 0 {
+		t.Error("snapshot has no phase timings")
+	}
+	if !strings.Contains(snap.Text(), "engine.cost_units") {
+		t.Error("snapshot text missing gauges section")
+	}
+
+	// No observer → empty snapshot, no panic.
+	b, err := metainsight.NewAnalyzer(tab, metainsight.WithMeasures(metainsight.Sum("Sales")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Mine()
+	empty := b.Snapshot()
+	if len(empty.Counters) != 0 || len(empty.Gauges) != 0 {
+		t.Errorf("observer-less snapshot not empty: %+v", empty)
+	}
+}
