@@ -32,6 +32,11 @@ func main() {
 		report  = flag.String("report", "", "write a markdown EDA report to this file")
 		trace   = flag.String("trace", "", "write the structured run trace (JSONL, commit order) to this file")
 		metrics = flag.Bool("metrics", false, "print the metrics snapshot (counters, gauges, phase timers) after the run")
+		faultsS = flag.String("faults", "", "deterministic fault-injection spec, e.g. \"seed=7,transient=0.05,attempts=4,breaker=5\" (keys: seed, transient, permanent, latency-rate, latency, attempts, backoff, backoff-factor, max-backoff, jitter, deadline, breaker)")
+		qcBytes = flag.Int64("cache-bytes", 0, "query-cache byte budget with oldest-first eviction (0 = unbounded)")
+		pcBytes = flag.Int64("pattern-cache-bytes", 0, "pattern-cache byte budget (0 = unbounded)")
+		ragged  = flag.Bool("skip-ragged", false, "skip-and-count rows whose column count differs from the header instead of failing")
+		badMeas = flag.Bool("skip-bad-measures", false, "skip-and-count rows with NaN/Inf/unparseable measure cells instead of failing")
 	)
 	flag.Parse()
 	if *csvPath == "" {
@@ -40,11 +45,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	tab, err := metainsight.OpenCSV(*csvPath,
-		metainsight.WithMaxDimensionCardinality(*maxCard))
+	loadOpts := []metainsight.LoadOption{
+		metainsight.WithMaxDimensionCardinality(*maxCard),
+	}
+	if *ragged {
+		loadOpts = append(loadOpts, metainsight.WithRaggedRows(metainsight.RowSkip))
+	}
+	if *badMeas {
+		loadOpts = append(loadOpts, metainsight.WithBadMeasures(metainsight.RowSkip))
+	}
+	tab, err := metainsight.OpenCSV(*csvPath, loadOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metainsight:", err)
 		os.Exit(1)
+	}
+	if ls := tab.LoadStats(); ls.RaggedSkipped > 0 || ls.BadMeasureSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "metainsight: skipped %d ragged and %d bad-measure rows (%d loaded)\n",
+			ls.RaggedSkipped, ls.BadMeasureSkipped, ls.RowsLoaded)
 	}
 	if *derive != "" {
 		tab, err = metainsight.DeriveTemporal(tab, *derive)
@@ -67,6 +84,19 @@ func main() {
 	if *budget > 0 {
 		opts = append(opts, metainsight.WithTimeBudget(*budget))
 	}
+	if *faultsS != "" {
+		policy, retry, err := metainsight.ParseFaultSpec(*faultsS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			os.Exit(2)
+		}
+		opts = append(opts,
+			metainsight.WithFaultPolicy(policy),
+			metainsight.WithRetryPolicy(retry))
+	}
+	if *qcBytes > 0 || *pcBytes > 0 {
+		opts = append(opts, metainsight.WithCacheBytes(*qcBytes, *pcBytes))
+	}
 	var ob *metainsight.Observer
 	if *trace != "" || *metrics {
 		obOpts := metainsight.ObserverOptions{}
@@ -83,6 +113,9 @@ func main() {
 	}
 	start := time.Now()
 	result := a.Mine()
+	if result.Err != nil {
+		fmt.Fprintln(os.Stderr, "metainsight: warning:", result.Err)
+	}
 	top := a.Rank(result, *k)
 
 	// observability epilogue: trace file, metrics snapshot, stats one-liner.

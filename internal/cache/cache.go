@@ -105,6 +105,11 @@ func (s Stats) HitRate() float64 {
 type qcShard struct {
 	mu    sync.RWMutex
 	units map[UnitKey]*Unit
+	// order is the insertion order of the live keys, the shard's FIFO
+	// eviction queue when the cache is byte-bounded.
+	order []UnitKey
+	// bytes is the shard's approximate live size.
+	bytes int64
 }
 
 // QueryCache stores query-cache units, sharded by key hash so concurrent
@@ -113,11 +118,14 @@ type qcShard struct {
 // how the paper's "w/o Query Cache" ablation is run. QueryCache is safe for
 // concurrent use.
 type QueryCache struct {
-	enabled bool
-	shards  [shardCount]qcShard
-	hits    atomic.Int64
-	misses  atomic.Int64
-	bytes   atomic.Int64
+	enabled   bool
+	shards    [shardCount]qcShard
+	hits      atomic.Int64
+	misses    atomic.Int64
+	bytes     atomic.Int64
+	maxBytes  int64 // 0 = unbounded; set before use
+	shardCap  int64 // maxBytes / shardCount
+	evictions atomic.Int64
 }
 
 // NewQueryCache creates a query cache. If enabled is false the cache is a
@@ -132,6 +140,31 @@ func NewQueryCache(enabled bool) *QueryCache {
 
 // Enabled reports whether the cache stores anything.
 func (c *QueryCache) Enabled() bool { return c.enabled }
+
+// SetMaxBytes bounds the cache to approximately maxBytes, split evenly into
+// per-shard byte caps; 0 removes the bound. When a Put pushes a shard over
+// its cap, the shard evicts its oldest entries (insertion-order FIFO) until
+// it fits — never the entry just inserted, so the working unit always
+// survives its own Put. Must be called before the cache is used
+// concurrently.
+//
+// Physical evictions depend on insertion interleaving and may vary across
+// worker counts; they only ever cause identical re-scans. The
+// worker-count-invariant eviction count reported in miner.Stats.Evictions
+// comes from the miner's simulated commit-order cache, not from here.
+func (c *QueryCache) SetMaxBytes(maxBytes int64) {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	c.maxBytes = maxBytes
+	c.shardCap = maxBytes / shardCount
+}
+
+// MaxBytes returns the configured bound (0 = unbounded).
+func (c *QueryCache) MaxBytes() int64 { return c.maxBytes }
+
+// Evictions returns how many entries this cache has physically evicted.
+func (c *QueryCache) Evictions() int64 { return c.evictions.Load() }
 
 func (c *QueryCache) shard(k UnitKey) *qcShard {
 	return &c.shards[k.hash()%shardCount]
@@ -169,19 +202,39 @@ func (c *QueryCache) Peek(subspace, breakdown string) (*Unit, bool) {
 	return c.lookup(UnitKey{Subspace: subspace, Breakdown: breakdown})
 }
 
-// Put stores a unit, replacing any previous entry with the same key.
+// Put stores a unit, replacing any previous entry with the same key, then
+// enforces the shard's byte cap (see SetMaxBytes).
 func (c *QueryCache) Put(u *Unit) {
 	if !c.enabled {
 		return
 	}
 	s := c.shard(u.Key)
+	ub := u.ApproxBytes()
 	s.mu.Lock()
 	if old, ok := s.units[u.Key]; ok {
-		c.bytes.Add(-old.ApproxBytes())
+		ob := old.ApproxBytes()
+		s.bytes -= ob
+		c.bytes.Add(-ob)
+	} else {
+		s.order = append(s.order, u.Key)
 	}
 	s.units[u.Key] = u
+	s.bytes += ub
+	c.bytes.Add(ub)
+	if c.shardCap > 0 {
+		for s.bytes > c.shardCap && len(s.order) > 1 && s.order[0] != u.Key {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			if old, ok := s.units[victim]; ok {
+				ob := old.ApproxBytes()
+				delete(s.units, victim)
+				s.bytes -= ob
+				c.bytes.Add(-ob)
+				c.evictions.Add(1)
+			}
+		}
+	}
 	s.mu.Unlock()
-	c.bytes.Add(u.ApproxBytes())
 }
 
 // Snapshot returns the keys currently stored with their approximate sizes.
@@ -246,6 +299,8 @@ func (c *QueryCache) Stats() Stats {
 type pcShard[V any] struct {
 	mu      sync.RWMutex
 	entries map[string]V
+	order   []string // insertion-order FIFO eviction queue when bounded
+	bytes   int64
 }
 
 // PatternCache memoizes values of type V keyed by string (MetaInsight keys
@@ -253,11 +308,16 @@ type pcShard[V any] struct {
 // counts misses and stores nothing, matching the "w/o Pattern Cache"
 // ablation. PatternCache is safe for concurrent use.
 type PatternCache[V any] struct {
-	enabled bool
-	shards  [shardCount]pcShard[V]
-	flight  Flight[string, V]
-	hits    atomic.Int64
-	misses  atomic.Int64
+	enabled   bool
+	shards    [shardCount]pcShard[V]
+	flight    Flight[string, V]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	bytes     atomic.Int64
+	maxBytes  int64
+	shardCap  int64
+	sizeOf    func(key string, v V) int64
+	evictions atomic.Int64
 }
 
 // NewPatternCache creates a pattern cache; disabled caches are no-ops that
@@ -272,6 +332,34 @@ func NewPatternCache[V any](enabled bool) *PatternCache[V] {
 
 // Enabled reports whether the cache stores anything.
 func (c *PatternCache[V]) Enabled() bool { return c.enabled }
+
+// SetMaxBytes bounds the cache to approximately maxBytes using sizeOf to
+// measure entries, with the same per-shard FIFO semantics as
+// QueryCache.SetMaxBytes; maxBytes 0 or a nil sizeOf removes the bound.
+// Must be called before the cache is used concurrently.
+func (c *PatternCache[V]) SetMaxBytes(maxBytes int64, sizeOf func(key string, v V) int64) {
+	if maxBytes < 0 || sizeOf == nil {
+		maxBytes = 0
+	}
+	c.maxBytes = maxBytes
+	c.shardCap = maxBytes / shardCount
+	c.sizeOf = sizeOf
+}
+
+// MaxBytes returns the configured bound (0 = unbounded).
+func (c *PatternCache[V]) MaxBytes() int64 { return c.maxBytes }
+
+// SizeOf measures one entry with the configured size function (0 when
+// unbounded). The miner uses it to mirror eviction in its simulated cache.
+func (c *PatternCache[V]) SizeOf(key string, v V) int64 {
+	if c.sizeOf == nil {
+		return 0
+	}
+	return c.sizeOf(key, v)
+}
+
+// Evictions returns how many entries this cache has physically evicted.
+func (c *PatternCache[V]) Evictions() int64 { return c.evictions.Load() }
 
 func (c *PatternCache[V]) shard(key string) *pcShard[V] {
 	return &c.shards[fnv1a(key)%shardCount]
@@ -309,14 +397,43 @@ func (c *PatternCache[V]) Peek(key string) (V, bool) {
 	return c.lookup(key)
 }
 
-// Put stores key → v.
+// Put stores key → v, then enforces the shard's byte cap (see SetMaxBytes).
 func (c *PatternCache[V]) Put(key string, v V) {
 	if !c.enabled {
 		return
 	}
 	s := c.shard(key)
+	bounded := c.shardCap > 0 && c.sizeOf != nil
+	var vb int64
+	if bounded {
+		vb = c.sizeOf(key, v)
+	}
 	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		if bounded {
+			ob := c.sizeOf(key, old)
+			s.bytes -= ob
+			c.bytes.Add(-ob)
+		}
+	} else if bounded {
+		s.order = append(s.order, key)
+	}
 	s.entries[key] = v
+	if bounded {
+		s.bytes += vb
+		c.bytes.Add(vb)
+		for s.bytes > c.shardCap && len(s.order) > 1 && s.order[0] != key {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			if old, ok := s.entries[victim]; ok {
+				ob := c.sizeOf(victim, old)
+				delete(s.entries, victim)
+				s.bytes -= ob
+				c.bytes.Add(-ob)
+				c.evictions.Add(1)
+			}
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -352,6 +469,29 @@ func (c *PatternCache[V]) KeySet() map[string]struct{} {
 		s.mu.RLock()
 		for k := range s.entries {
 			out[k] = struct{}{}
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// KeySizes returns the stored keys with their measured sizes (0 each when
+// the cache is unbounded). The miner seeds its simulated pattern cache from
+// it so warm entries participate in commit-order eviction.
+func (c *PatternCache[V]) KeySizes() map[string]int64 {
+	out := make(map[string]int64)
+	if !c.enabled {
+		return out
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, v := range s.entries {
+			if c.sizeOf != nil {
+				out[k] = c.sizeOf(k, v)
+			} else {
+				out[k] = 0
+			}
 		}
 		s.mu.RUnlock()
 	}

@@ -4,12 +4,38 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"metainsight/internal/model"
 )
+
+// RowPolicy selects how ingestion treats a defective row.
+type RowPolicy int
+
+const (
+	// RowError rejects the whole load with an error naming the first
+	// defective row (the default: defects should be loud).
+	RowError RowPolicy = iota
+	// RowSkip drops the defective row, counts it in the table's LoadStats,
+	// and continues — best-effort ingestion of dirty exports.
+	RowSkip
+)
+
+// LoadStats counts what ingestion kept and dropped; Table.LoadStats surfaces
+// it on the load result.
+type LoadStats struct {
+	// RowsLoaded is the number of records that entered the table.
+	RowsLoaded int
+	// RaggedSkipped counts rows dropped for having a column count different
+	// from the header's (RaggedRows = RowSkip only).
+	RaggedSkipped int
+	// BadMeasureSkipped counts rows dropped for a non-finite (NaN/±Inf) or
+	// unparseable measure cell (BadMeasures = RowSkip only).
+	BadMeasureSkipped int
+}
 
 // LoadOptions controls CSV ingestion and type inference.
 type LoadOptions struct {
@@ -22,6 +48,14 @@ type LoadOptions struct {
 	// (e.g. free-text IDs) from the dimension set: columns whose distinct
 	// count exceeds this limit are dropped from analysis. 0 means no limit.
 	MaxDimensionCardinality int
+	// RaggedRows selects the treatment of rows whose column count differs
+	// from the header's. The default (RowError) rejects the load.
+	RaggedRows RowPolicy
+	// BadMeasures selects the treatment of rows with a NaN, ±Inf or
+	// unparseable cell in a measure column. The default (RowError) rejects
+	// the load: non-finite values would silently poison every aggregate
+	// downstream. Empty cells are not defects; they load as 0.
+	BadMeasures RowPolicy
 }
 
 // LoadCSVFile reads a CSV file with a header row and builds a Table,
@@ -50,6 +84,9 @@ func LoadCSVFile(path string, opts LoadOptions) (*Table, error) {
 func LoadCSV(r io.Reader, opts LoadOptions) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	// Column-count enforcement is deferred to FromRecords, where
+	// opts.RaggedRows decides between rejecting and skip-and-count.
+	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
@@ -87,10 +124,23 @@ func FromRecords(name string, header []string, records [][]string, opts LoadOpti
 		seen[h] = true
 		header[i] = h
 	}
-	for i, rec := range records {
-		if len(rec) != ncols {
-			return nil, fmt.Errorf("dataset: row %d has %d columns, header has %d", i+1, len(rec), ncols)
+	var stats LoadStats
+	if opts.RaggedRows == RowError {
+		for i, rec := range records {
+			if len(rec) != ncols {
+				return nil, fmt.Errorf("dataset: row %d has %d columns, header has %d", i+1, len(rec), ncols)
+			}
 		}
+	} else {
+		kept := make([][]string, 0, len(records))
+		for _, rec := range records {
+			if len(rec) != ncols {
+				stats.RaggedSkipped++
+				continue
+			}
+			kept = append(kept, rec)
+		}
+		records = kept
 	}
 	kinds := make([]model.FieldKind, ncols)
 	keep := make([]bool, ncols)
@@ -123,6 +173,7 @@ func FromRecords(name string, header []string, records [][]string, opts LoadOpti
 	b := NewBuilder(name, fields)
 	dimVals := make([]string, 0, ncols)
 	meaVals := make([]float64, 0, ncols)
+rows:
 	for ri, rec := range records {
 		dimVals = dimVals[:0]
 		meaVals = meaVals[:0]
@@ -132,7 +183,14 @@ func FromRecords(name string, header []string, records [][]string, opts LoadOpti
 			}
 			if kinds[c] == model.KindMeasure {
 				v, err := parseNumber(rec[c])
+				if err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+					err = fmt.Errorf("non-finite value %q", strings.TrimSpace(rec[c]))
+				}
 				if err != nil {
+					if opts.BadMeasures == RowSkip {
+						stats.BadMeasureSkipped++
+						continue rows
+					}
 					return nil, fmt.Errorf("dataset: row %d column %q: %w", ri+1, header[c], err)
 				}
 				meaVals = append(meaVals, v)
@@ -141,8 +199,11 @@ func FromRecords(name string, header []string, records [][]string, opts LoadOpti
 			}
 		}
 		b.AddRow(dimVals, meaVals)
+		stats.RowsLoaded++
 	}
-	return b.Build(), nil
+	tab := b.Build()
+	tab.load = stats
+	return tab, nil
 }
 
 func columnValues(records [][]string, c int) []string {

@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"metainsight/internal/model"
+)
+
+func TestRaggedRowPolicy(t *testing.T) {
+	in := "City,Sales\nLA,100\nSF\nNY,50,extra\nLA,25\n"
+
+	if _, err := LoadCSV(strings.NewReader(in), LoadOptions{Name: "t"}); err == nil {
+		t.Fatal("default policy accepted ragged rows")
+	}
+
+	tab, err := LoadCSV(strings.NewReader(in), LoadOptions{Name: "t", RaggedRows: RowSkip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("rows = %d, want 2", tab.Rows())
+	}
+	st := tab.LoadStats()
+	if st.RaggedSkipped != 2 || st.RowsLoaded != 2 {
+		t.Errorf("stats = %+v, want RaggedSkipped=2 RowsLoaded=2", st)
+	}
+}
+
+func TestBadMeasurePolicy(t *testing.T) {
+	in := "City,Sales\nLA,100\nSF,NaN\nNY,+Inf\nLA,25\n"
+
+	if _, err := LoadCSV(strings.NewReader(in), LoadOptions{Name: "t"}); err == nil {
+		t.Fatal("default policy accepted a NaN measure")
+	}
+
+	tab, err := LoadCSV(strings.NewReader(in), LoadOptions{Name: "t", BadMeasures: RowSkip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("rows = %d, want 2", tab.Rows())
+	}
+	st := tab.LoadStats()
+	if st.BadMeasureSkipped != 2 || st.RowsLoaded != 2 {
+		t.Errorf("stats = %+v, want BadMeasureSkipped=2 RowsLoaded=2", st)
+	}
+	col := tab.MeasureColumn("Sales")
+	if col.At(0) != 100 || col.At(1) != 25 {
+		t.Errorf("kept values = %v %v, want 100 25", col.At(0), col.At(1))
+	}
+}
+
+func TestEmptyMeasureCellIsNotDefect(t *testing.T) {
+	in := "City,Sales\nLA,100\nSF,\n"
+	tab, err := LoadCSV(strings.NewReader(in), LoadOptions{Name: "t", BadMeasures: RowSkip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 || tab.LoadStats().BadMeasureSkipped != 0 {
+		t.Errorf("rows=%d stats=%+v, want empty cell loaded as 0", tab.Rows(), tab.LoadStats())
+	}
+}
+
+func TestUnparseableMeasureUnderOverrideSkips(t *testing.T) {
+	// Forcing a mixed column to measure makes "n/a" cells defects; RowSkip
+	// must drop those rows rather than fail the load.
+	in := "K,V\na,1\nb,n/a\nc,3\n"
+	tab, err := LoadCSV(strings.NewReader(in), LoadOptions{
+		Name:          "t",
+		KindOverrides: map[string]model.FieldKind{"V": model.KindMeasure},
+		BadMeasures:   RowSkip,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 2 || tab.LoadStats().BadMeasureSkipped != 1 {
+		t.Errorf("rows=%d stats=%+v, want 2 rows and 1 bad-measure skip", tab.Rows(), tab.LoadStats())
+	}
+}

@@ -17,25 +17,43 @@ func FuzzLoadCSV(f *testing.F) {
 	f.Add("К,Ц\nμ,λ\n")
 	f.Add("dup,dup\n1,2\n")
 	f.Add("n\n1e308\n-1e308\nNaN\n")
+	f.Add("r\n1\nx,2\nNaN\n")
 	f.Fuzz(func(t *testing.T, data string) {
-		tab, err := LoadCSV(strings.NewReader(data), LoadOptions{Name: "fuzz"})
-		if err != nil {
-			return // malformed input is allowed to fail, not to panic
-		}
-		for _, col := range tab.Dimensions() {
-			for r := 0; r < tab.Rows(); r++ {
-				code := int(col.CodeAt(r))
-				if code < 0 || code >= col.Cardinality() {
-					t.Fatalf("row %d of %q decodes out of range", r, col.Name)
+		// Exercise every row-policy combination: none may panic, and under
+		// skip-and-count any built table must be internally consistent with
+		// finite measures.
+		for _, ragged := range []RowPolicy{RowError, RowSkip} {
+			for _, bad := range []RowPolicy{RowError, RowSkip} {
+				tab, err := LoadCSV(strings.NewReader(data),
+					LoadOptions{Name: "fuzz", RaggedRows: ragged, BadMeasures: bad})
+				if err != nil {
+					continue // malformed input is allowed to fail, not to panic
 				}
-				if col.Code(col.Value(code)) != code {
-					t.Fatalf("dictionary roundtrip broken for %q", col.Name)
+				st := tab.LoadStats()
+				if st.RowsLoaded != tab.Rows() {
+					t.Fatalf("LoadStats.RowsLoaded=%d but table has %d rows", st.RowsLoaded, tab.Rows())
 				}
-			}
-		}
-		for _, mc := range tab.MeasureColumns() {
-			for r := 0; r < tab.Rows(); r++ {
-				mc.At(r) // must not panic
+				if ragged == RowError && st.RaggedSkipped != 0 {
+					t.Fatalf("RaggedSkipped=%d under RowError", st.RaggedSkipped)
+				}
+				for _, col := range tab.Dimensions() {
+					for r := 0; r < tab.Rows(); r++ {
+						code := int(col.CodeAt(r))
+						if code < 0 || code >= col.Cardinality() {
+							t.Fatalf("row %d of %q decodes out of range", r, col.Name)
+						}
+						if col.Code(col.Value(code)) != code {
+							t.Fatalf("dictionary roundtrip broken for %q", col.Name)
+						}
+					}
+				}
+				for _, mc := range tab.MeasureColumns() {
+					for r := 0; r < tab.Rows(); r++ {
+						if v := mc.At(r); v != v {
+							t.Fatalf("NaN measure survived ingestion in %q row %d", mc.Name, r)
+						}
+					}
+				}
 			}
 		}
 	})

@@ -67,7 +67,12 @@ type Table struct {
 	measures []*MeasureColumn
 	dimIdx   map[string]int
 	measIdx  map[string]int
+	load     LoadStats
 }
+
+// LoadStats reports what ingestion kept and dropped for tables built by
+// FromRecords/LoadCSV; it is zero for tables assembled directly via Builder.
+func (t *Table) LoadStats() LoadStats { return t.load }
 
 // Name returns the dataset's display name.
 func (t *Table) Name() string { return t.name }

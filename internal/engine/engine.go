@@ -14,11 +14,11 @@ package engine
 
 import (
 	"fmt"
-	"math"
 	"sync/atomic"
 
 	"metainsight/internal/cache"
 	"metainsight/internal/dataset"
+	"metainsight/internal/faults"
 	"metainsight/internal/model"
 	"metainsight/internal/obs"
 )
@@ -101,10 +101,24 @@ type augKey struct {
 
 // unitRes is a metered unit-flight result: the unit plus whether this flight
 // actually scanned (false when a concurrent leader's Put was found by the
-// double-check, in which case the caller counts as served).
+// double-check, in which case the caller counts as served), or the
+// substrate's error.
 type unitRes struct {
 	u       *cache.Unit
 	scanned bool
+	err     error
+}
+
+// quietUnitRes is a quiet unit-flight result.
+type quietUnitRes struct {
+	u   *cache.Unit
+	err error
+}
+
+// augRes is an augmented-flight result (metered or quiet).
+type augRes struct {
+	units map[string]*cache.Unit
+	err   error
 }
 
 // Engine executes queries for one table against one measure set. All query
@@ -120,15 +134,17 @@ type Engine struct {
 	cost     CostModel
 	meter    *Meter
 	obs      *obs.Observer
+	sub      Substrate
+	inj      *faults.Injector
 	totalImp float64
 
 	// Single-flight groups. Metered and quiet paths use separate groups: a
 	// quiet follower piggybacking on a metered leader (or vice versa) would
 	// blur which path paid for the scan.
 	meteredUnits cache.Flight[cache.UnitKey, unitRes]
-	meteredAug   cache.Flight[augKey, map[string]*cache.Unit]
-	quietUnits   cache.Flight[cache.UnitKey, *cache.Unit]
-	quietAug     cache.Flight[augKey, map[string]*cache.Unit]
+	meteredAug   cache.Flight[augKey, augRes]
+	quietUnits   cache.Flight[cache.UnitKey, quietUnitRes]
+	quietAug     cache.Flight[augKey, augRes]
 }
 
 // Config configures an Engine.
@@ -151,6 +167,18 @@ type Config struct {
 	// may vary with worker count and budget timing — and never influence
 	// query results or metering.
 	Observer *obs.Observer
+	// Substrate is the physical scan layer; nil uses the in-process
+	// ColumnarSubstrate over the table.
+	Substrate Substrate
+	// Faults, when non-nil, injects deterministic failures and latency into
+	// every scan path. A query's fate is a pure function of its canonical
+	// fingerprint: it fails identically on metered and quiet paths,
+	// regardless of cache state, worker count, or timing. In particular a
+	// failing query fails even when its unit happens to be cached (e.g. via
+	// an augmented prefetch under a different fingerprint) — the decision is
+	// attached to the logical query so that physical execution and the
+	// miner's canonical commit-order replay can never disagree.
+	Faults *faults.Injector
 }
 
 // New creates an engine over tab.
@@ -173,6 +201,9 @@ func New(tab *dataset.Table, cfg Config) (*Engine, error) {
 	if cfg.Meter == nil {
 		cfg.Meter = &Meter{}
 	}
+	if cfg.Substrate == nil {
+		cfg.Substrate = NewColumnarSubstrate(tab)
+	}
 	e := &Engine{
 		tab:      tab,
 		measures: cfg.Measures,
@@ -181,6 +212,8 @@ func New(tab *dataset.Table, cfg Config) (*Engine, error) {
 		cost:     cfg.Cost,
 		meter:    cfg.Meter,
 		obs:      cfg.Observer,
+		sub:      cfg.Substrate,
+		inj:      cfg.Faults,
 	}
 	for _, m := range cfg.Measures {
 		if err := e.checkMeasure(m); err != nil {
@@ -238,6 +271,13 @@ func (e *Engine) Meter() *Meter { return e.meter }
 // QueryCache returns the engine's query cache.
 func (e *Engine) QueryCache() *cache.QueryCache { return e.qc }
 
+// Faults returns the engine's fault injector (possibly nil). The miner uses
+// it to recompute resolutions during canonical commit-order replay.
+func (e *Engine) Faults() *faults.Injector { return e.inj }
+
+// Substrate returns the engine's physical scan layer.
+func (e *Engine) Substrate() Substrate { return e.sub }
+
 // totalImpactValue computes m_Impact({*}) directly (not metered: it is a
 // one-time setup computation, equivalent to dataset metadata).
 func (e *Engine) totalImpactValue() float64 {
@@ -280,6 +320,21 @@ func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, e
 	if e.tab.Dimension(breakdown) == nil {
 		return nil, fmt.Errorf("engine: unknown breakdown dimension %q", breakdown)
 	}
+	// Resolve the query's fate before consulting the cache: a failing
+	// fingerprint fails regardless of cache state (see Config.Faults), so
+	// metered and quiet paths — and the miner's canonical replay — always
+	// agree. Injected retry/latency cost is charged only when the scan
+	// actually executes below.
+	var faultCost float64
+	if e.inj.Enabled() {
+		fp := UnitFingerprint(subspace.Key(), breakdown)
+		fres := e.inj.Resolve(fp, e.ScanCost(subspace))
+		if !fres.OK {
+			e.meter.AddCost(fres.FaultCost)
+			return nil, fres.Err(fp)
+		}
+		faultCost = fres.FaultCost
+	}
 	unit, ok := e.qc.Get(subspace.Key(), breakdown)
 	if ok {
 		e.meter.served.Add(1)
@@ -292,17 +347,53 @@ func (e *Engine) Unit(subspace model.Subspace, breakdown string) (*cache.Unit, e
 		if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
 			return unitRes{u: u}
 		}
-		u, scanned := e.scanUnit(subspace, breakdown)
+		u, scanned, err := e.execScanUnit(subspace, breakdown)
+		if err != nil {
+			return unitRes{err: err}
+		}
 		e.recordScan(scanned, false)
 		e.meter.executed.Add(1)
-		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
+		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned) + faultCost)
 		e.qc.Put(u)
 		return unitRes{u: u, scanned: true}
 	})
+	if res.err != nil {
+		return nil, res.err
+	}
 	if !leader || !res.scanned {
 		e.meter.served.Add(1)
 	}
 	return res.u, nil
+}
+
+// execScanUnit runs the substrate's unit scan, retrying real substrate
+// errors up to the retry policy's attempt budget. Injected faults never
+// reach this level — they are resolved before the cache lookup.
+func (e *Engine) execScanUnit(s model.Subspace, breakdown string) (*cache.Unit, int, error) {
+	var u *cache.Unit
+	var rows int
+	var err error
+	for i := 0; i < e.inj.MaxAttempts(); i++ {
+		u, rows, err = e.sub.ScanUnit(s, breakdown)
+		if err == nil {
+			return u, rows, nil
+		}
+	}
+	return nil, rows, err
+}
+
+// execScanAugmented is execScanUnit for augmented scans.
+func (e *Engine) execScanAugmented(base model.Subspace, breakdown, ext string) (map[string]*cache.Unit, int, error) {
+	var units map[string]*cache.Unit
+	var rows int
+	var err error
+	for i := 0; i < e.inj.MaxAttempts(); i++ {
+		units, rows, err = e.sub.ScanAugmented(base, breakdown, ext)
+		if err == nil {
+			return units, rows, nil
+		}
+	}
+	return nil, rows, err
 }
 
 // CheckAugmented validates an AugmentedQuery(ds, d) request without running
@@ -334,25 +425,41 @@ func (e *Engine) AugmentedQuery(ds model.DataScope, d string) (map[string]*cache
 		return nil, err
 	}
 	base := ds.Subspace.Without(d)
+	var faultCost float64
+	if e.inj.Enabled() {
+		fp := AugmentedFingerprint(base.Key(), ds.Breakdown, d)
+		fres := e.inj.Resolve(fp, e.ScanCost(base))
+		if !fres.OK {
+			e.meter.AddCost(fres.FaultCost)
+			return nil, fres.Err(fp)
+		}
+		faultCost = fres.FaultCost
+	}
 	key := augKey{base: base.Key(), breakdown: ds.Breakdown, ext: d}
-	units, leader := e.meteredAug.Do(key, func() map[string]*cache.Unit {
-		units, scanned := e.scanAugmented(base, ds.Breakdown, d)
+	res, leader := e.meteredAug.Do(key, func() augRes {
+		units, scanned, err := e.execScanAugmented(base, ds.Breakdown, d)
+		if err != nil {
+			return augRes{err: err}
+		}
 		e.recordScan(scanned, true)
 		e.meter.executed.Add(1)
 		e.meter.augmented.Add(1)
 		// One scan answers |dom(d)| sibling queries; charge a single round
 		// trip plus the scan, mirroring the paper's motivation for augmented
 		// queries.
-		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned))
+		e.meter.AddCost(e.cost.PerQuery + e.cost.PerRow*float64(scanned) + faultCost)
 		for _, u := range units {
 			e.qc.Put(u)
 		}
-		return units
+		return augRes{units: units}
 	})
+	if res.err != nil {
+		return nil, res.err
+	}
 	if !leader {
 		e.meter.served.Add(1)
 	}
-	return units, nil
+	return res.units, nil
 }
 
 // MaterializeUnit returns the unit for (subspace, breakdown) without touching
@@ -365,20 +472,32 @@ func (e *Engine) MaterializeUnit(subspace model.Subspace, breakdown string) (*ca
 	if e.tab.Dimension(breakdown) == nil {
 		return nil, fmt.Errorf("engine: unknown breakdown dimension %q", breakdown)
 	}
+	// Same purity rule as Unit: the fingerprint's fate is decided before any
+	// cache interaction, so the outcome cannot depend on which worker got
+	// here first or what happens to be cached.
+	if e.inj.Enabled() {
+		fp := UnitFingerprint(subspace.Key(), breakdown)
+		if fres := e.inj.Resolve(fp, e.ScanCost(subspace)); !fres.OK {
+			return nil, fres.Err(fp)
+		}
+	}
 	key := cache.UnitKey{Subspace: subspace.Key(), Breakdown: breakdown}
 	if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
 		return u, nil
 	}
-	u, _ := e.quietUnits.Do(key, func() *cache.Unit {
+	res, _ := e.quietUnits.Do(key, func() quietUnitRes {
 		if u, ok := e.qc.Peek(key.Subspace, key.Breakdown); ok {
-			return u // raced with another leader's Put
+			return quietUnitRes{u: u} // raced with another leader's Put
 		}
-		u, scanned := e.scanUnit(subspace, breakdown)
+		u, scanned, err := e.execScanUnit(subspace, breakdown)
+		if err != nil {
+			return quietUnitRes{err: err}
+		}
 		e.recordScan(scanned, false)
 		e.qc.Put(u)
-		return u
+		return quietUnitRes{u: u}
 	})
-	return u, nil
+	return res.u, res.err
 }
 
 // MaterializeBasic is the quiet (unmetered, uncounted) form of BasicQuery.
@@ -402,16 +521,25 @@ func (e *Engine) MaterializeAugmented(ds model.DataScope, d string) (map[string]
 		return nil, err
 	}
 	base := ds.Subspace.Without(d)
+	if e.inj.Enabled() {
+		fp := AugmentedFingerprint(base.Key(), ds.Breakdown, d)
+		if fres := e.inj.Resolve(fp, e.ScanCost(base)); !fres.OK {
+			return nil, fres.Err(fp)
+		}
+	}
 	key := augKey{base: base.Key(), breakdown: ds.Breakdown, ext: d}
-	units, _ := e.quietAug.Do(key, func() map[string]*cache.Unit {
-		units, scanned := e.scanAugmented(base, ds.Breakdown, d)
+	res, _ := e.quietAug.Do(key, func() augRes {
+		units, scanned, err := e.execScanAugmented(base, ds.Breakdown, d)
+		if err != nil {
+			return augRes{err: err}
+		}
 		e.recordScan(scanned, true)
 		for _, u := range units {
 			e.qc.Put(u)
 		}
-		return units
+		return augRes{units: units}
 	})
-	return units, nil
+	return res.units, res.err
 }
 
 // ScanCost returns the metered cost a unit scan under subspace s would be
@@ -424,7 +552,7 @@ func (e *Engine) ScanCost(s model.Subspace) float64 {
 	scanned := e.tab.Rows()
 	if len(s) > 0 {
 		best := e.tab.Rows() + 1
-		for _, f := range e.resolveFilters(s) {
+		for _, f := range resolveFilters(e.tab, s) {
 			if l := len(f.col.Postings(int(f.code))); l < best {
 				best = l
 			}
@@ -444,6 +572,19 @@ func (e *Engine) EvaluationCost() float64 { return e.cost.PerEvaluation }
 func (e *Engine) Impact(s model.Subspace) (float64, error) {
 	if len(s) == 0 {
 		return 1, nil
+	}
+	// The fallback scan's fate is resolved before the cache probes: if its
+	// fingerprint fails, the impact lookup fails even when a probe unit
+	// happens to be cached. Cache-dependent outcomes would diverge between
+	// this path and the miner's replay (whose simulated cache can lag or
+	// lead the physical one), breaking worker-count invariance.
+	if e.inj.Enabled() {
+		fp := UnitFingerprint(s.Key(), e.impactFallbackDim(s))
+		fres := e.inj.Resolve(fp, e.ScanCost(s))
+		if !fres.OK {
+			e.meter.AddCost(fres.FaultCost)
+			return 0, fres.Err(fp)
+		}
 	}
 	// Any breakdown unit of this subspace can serve the impact value; prefer
 	// a cached one before paying for a scan.
@@ -514,17 +655,34 @@ func (e *Engine) ImpactUnmetered(s model.Subspace) (float64, *ImpactProbe, error
 		Fallback: cache.UnitKey{Subspace: s.Key(), Breakdown: e.impactFallbackDim(s)},
 		Cost:     e.ScanCost(s),
 	}
+	// Purity rule (see Impact): resolve the fallback fingerprint before any
+	// cache peek. The probe is returned alongside the error so the miner can
+	// record the lookup and recompute the identical resolution at replay.
+	if e.inj.Enabled() {
+		fp := UnitFingerprint(p.Fallback.Subspace, p.Fallback.Breakdown)
+		if fres := e.inj.Resolve(fp, p.Cost); !fres.OK {
+			return 0, p, fres.Err(fp)
+		}
+	}
 	var unit *cache.Unit
-	for _, dim := range probe {
-		if u, ok := e.qc.Peek(s.Key(), dim); ok {
-			unit = u
-			break
+	// With an unbounded cache, p.Bytes is reporting-only, so a probe unit
+	// found by a (timing-dependent) peek may serve the value and leave Bytes
+	// zero. Under a byte-bounded cache the recorded size participates in the
+	// canonical eviction simulation, so it must be deterministic: always
+	// materialize the fallback unit (pure data, worker-count-invariant) and
+	// take its size.
+	if e.qc.MaxBytes() == 0 {
+		for _, dim := range probe {
+			if u, ok := e.qc.Peek(s.Key(), dim); ok {
+				unit = u
+				break
+			}
 		}
 	}
 	if unit == nil {
 		u, err := e.MaterializeUnit(s, p.Fallback.Breakdown)
 		if err != nil {
-			return 0, nil, err
+			return 0, p, err
 		}
 		unit = u
 	}
@@ -597,227 +755,6 @@ func extract(u *cache.Unit, ds model.DataScope) (*Series, error) {
 		return nil, fmt.Errorf("engine: unsupported aggregate %v", ds.Measure.Agg)
 	}
 	return &Series{Scope: ds, Keys: u.GroupKeys, Values: vals}, nil
-}
-
-// filterSpec is a resolved subspace filter.
-type filterSpec struct {
-	col  *dataset.DimColumn
-	code int32
-}
-
-func (e *Engine) resolveFilters(s model.Subspace) []filterSpec {
-	specs := make([]filterSpec, 0, len(s))
-	for _, f := range s {
-		col := e.tab.Dimension(f.Dim)
-		specs = append(specs, filterSpec{col: col, code: int32(col.Code(f.Value))})
-	}
-	return specs
-}
-
-// scanPlan chooses the row set to iterate: the most selective filter's
-// posting list when the subspace is non-empty (the remaining filters are
-// verified per row), or the full table otherwise. It returns the driving
-// rows (nil = all rows) and the filters still to check.
-func (e *Engine) scanPlan(filters []filterSpec) (drive []int32, rest []filterSpec) {
-	if len(filters) == 0 {
-		return nil, nil
-	}
-	best := -1
-	bestLen := e.tab.Rows() + 1
-	for i, f := range filters {
-		if l := len(f.col.Postings(int(f.code))); l < bestLen {
-			best, bestLen = i, l
-		}
-	}
-	drive = filters[best].col.Postings(int(filters[best].code))
-	rest = make([]filterSpec, 0, len(filters)-1)
-	rest = append(rest, filters[:best]...)
-	rest = append(rest, filters[best+1:]...)
-	return drive, rest
-}
-
-// scanUnit executes one filtered group-by scan across all measure columns,
-// producing the cache unit and the number of rows visited. It is pure with
-// respect to the meter and caches; callers charge and store.
-func (e *Engine) scanUnit(s model.Subspace, breakdown string) (*cache.Unit, int) {
-	bcol := e.tab.Dimension(breakdown)
-	card := bcol.Cardinality()
-	filters := e.resolveFilters(s)
-	mcols := e.tab.MeasureColumns()
-
-	counts := make([]float64, card)
-	sums := make([][]float64, len(mcols))
-	mins := make([][]float64, len(mcols))
-	maxs := make([][]float64, len(mcols))
-	for i := range mcols {
-		sums[i] = make([]float64, card)
-		mins[i] = make([]float64, card)
-		maxs[i] = make([]float64, card)
-		for g := 0; g < card; g++ {
-			mins[i][g] = math.Inf(1)
-			maxs[i][g] = math.Inf(-1)
-		}
-	}
-
-	drive, rest := e.scanPlan(filters)
-	scanned := 0
-	accumulate := func(r int) {
-		for _, f := range rest {
-			if f.col.CodeAt(r) != f.code {
-				return
-			}
-		}
-		g := bcol.CodeAt(r)
-		counts[g]++
-		for i, mc := range mcols {
-			v := mc.At(r)
-			sums[i][g] += v
-			if v < mins[i][g] {
-				mins[i][g] = v
-			}
-			if v > maxs[i][g] {
-				maxs[i][g] = v
-			}
-		}
-	}
-	if drive == nil && len(filters) > 0 {
-		drive = []int32{} // non-empty subspace with an absent value: no rows
-	}
-	if len(filters) == 0 {
-		scanned = e.tab.Rows()
-		for r := 0; r < scanned; r++ {
-			accumulate(r)
-		}
-	} else {
-		scanned = len(drive)
-		for _, r := range drive {
-			accumulate(int(r))
-		}
-	}
-
-	return buildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs), scanned
-}
-
-// scanAugmented executes one scan grouped by (breakdown, d), producing one
-// unit per non-empty value of d and the number of rows visited. Like
-// scanUnit it is pure; callers charge and store.
-func (e *Engine) scanAugmented(base model.Subspace, breakdown, d string) (map[string]*cache.Unit, int) {
-	bcol := e.tab.Dimension(breakdown)
-	dcol := e.tab.Dimension(d)
-	bcard, dcard := bcol.Cardinality(), dcol.Cardinality()
-	filters := e.resolveFilters(base)
-	mcols := e.tab.MeasureColumns()
-
-	cells := bcard * dcard
-	counts := make([]float64, cells)
-	sums := make([][]float64, len(mcols))
-	mins := make([][]float64, len(mcols))
-	maxs := make([][]float64, len(mcols))
-	for i := range mcols {
-		sums[i] = make([]float64, cells)
-		mins[i] = make([]float64, cells)
-		maxs[i] = make([]float64, cells)
-		for g := 0; g < cells; g++ {
-			mins[i][g] = math.Inf(1)
-			maxs[i][g] = math.Inf(-1)
-		}
-	}
-
-	drive, rest := e.scanPlan(filters)
-	scanned := 0
-	accumulate := func(r int) {
-		for _, f := range rest {
-			if f.col.CodeAt(r) != f.code {
-				return
-			}
-		}
-		g := int(dcol.CodeAt(r))*bcard + int(bcol.CodeAt(r))
-		counts[g]++
-		for i, mc := range mcols {
-			v := mc.At(r)
-			sums[i][g] += v
-			if v < mins[i][g] {
-				mins[i][g] = v
-			}
-			if v > maxs[i][g] {
-				maxs[i][g] = v
-			}
-		}
-	}
-	if drive == nil && len(filters) > 0 {
-		drive = []int32{}
-	}
-	if len(filters) == 0 {
-		scanned = e.tab.Rows()
-		for r := 0; r < scanned; r++ {
-			accumulate(r)
-		}
-	} else {
-		scanned = len(drive)
-		for _, r := range drive {
-			accumulate(int(r))
-		}
-	}
-
-	units := make(map[string]*cache.Unit, dcard)
-	bdomain := bcol.Domain()
-	for dv := 0; dv < dcard; dv++ {
-		lo, hi := dv*bcard, (dv+1)*bcard
-		sub := base.With(d, dcol.Value(dv))
-		colSums := make([][]float64, len(mcols))
-		colMins := make([][]float64, len(mcols))
-		colMaxs := make([][]float64, len(mcols))
-		for i := range mcols {
-			colSums[i] = sums[i][lo:hi]
-			colMins[i] = mins[i][lo:hi]
-			colMaxs[i] = maxs[i][lo:hi]
-		}
-		u := buildUnit(sub.Key(), breakdown, bdomain, counts[lo:hi], mcols, colSums, colMins, colMaxs)
-		if len(u.GroupKeys) > 0 {
-			units[dcol.Value(dv)] = u
-		}
-	}
-	return units, scanned
-}
-
-// buildUnit compresses full-domain accumulator arrays into a unit holding
-// only the non-empty groups.
-func buildUnit(subspaceKey, breakdown string, domain []string, counts []float64,
-	mcols []*dataset.MeasureColumn, sums, mins, maxs [][]float64) *cache.Unit {
-
-	nonEmpty := 0
-	for _, c := range counts {
-		if c > 0 {
-			nonEmpty++
-		}
-	}
-	u := &cache.Unit{
-		Key:       cache.UnitKey{Subspace: subspaceKey, Breakdown: breakdown},
-		GroupKeys: make([]string, 0, nonEmpty),
-		Counts:    make([]float64, 0, nonEmpty),
-		Sums:      make(map[string][]float64, len(mcols)),
-		Mins:      make(map[string][]float64, len(mcols)),
-		Maxs:      make(map[string][]float64, len(mcols)),
-	}
-	for i, mc := range mcols {
-		u.Sums[mc.Name] = make([]float64, 0, nonEmpty)
-		u.Mins[mc.Name] = make([]float64, 0, nonEmpty)
-		u.Maxs[mc.Name] = make([]float64, 0, nonEmpty)
-		_ = i
-	}
-	for g, c := range counts {
-		if c == 0 {
-			continue
-		}
-		u.GroupKeys = append(u.GroupKeys, domain[g])
-		u.Counts = append(u.Counts, c)
-		for i, mc := range mcols {
-			u.Sums[mc.Name] = append(u.Sums[mc.Name], sums[i][g])
-			u.Mins[mc.Name] = append(u.Mins[mc.Name], mins[i][g])
-			u.Maxs[mc.Name] = append(u.Maxs[mc.Name], maxs[i][g])
-		}
-	}
-	return u
 }
 
 // ChargeEvaluation charges the metered cost of one data-pattern evaluation.

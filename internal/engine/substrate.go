@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"math"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// Substrate is the physical scan layer behind the engine: the component that
+// actually visits rows and produces query-cache units. The paper's substrate
+// was Excel's query interface over IPC; ours is an in-process columnar scan
+// (ColumnarSubstrate). Extracting the interface lets deployments swap in a
+// remote cube or SQL backend — and lets the fault injector model such a
+// backend's failures deterministically without a real one.
+//
+// Contract: both methods report the number of rows physically visited, are
+// safe for concurrent use, and must be deterministic for a fixed table —
+// the engine's single-flight groups assume any two calls with equal
+// arguments are interchangeable. Returned units must carry the canonical
+// cache.UnitKey for their scope and list only non-empty groups in domain
+// order. Errors are retried by the engine up to the retry policy's attempt
+// budget; ColumnarSubstrate never errors.
+type Substrate interface {
+	// ScanUnit executes one filtered group-by scan of (subspace, breakdown)
+	// across all measure columns.
+	ScanUnit(s model.Subspace, breakdown string) (*cache.Unit, int, error)
+	// ScanAugmented executes one scan filtered by base, grouped by
+	// (breakdown, ext), returning one unit per non-empty value of ext keyed
+	// by that value.
+	ScanAugmented(base model.Subspace, breakdown, ext string) (map[string]*cache.Unit, int, error)
+}
+
+// UnitFingerprint is the canonical identity of a unit scan, the key fault
+// decisions are drawn from. It depends only on the logical query — never on
+// cache state, worker, or time — which is what keeps injected failures
+// bit-identical across worker counts.
+func UnitFingerprint(subspaceKey, breakdown string) string {
+	return "u|" + subspaceKey + "|" + breakdown
+}
+
+// AugmentedFingerprint is the canonical identity of an augmented scan.
+func AugmentedFingerprint(baseKey, breakdown, ext string) string {
+	return "a|" + baseKey + "|" + breakdown + "|" + ext
+}
+
+// ColumnarSubstrate is the default Substrate: a filtered group-by scan over
+// the in-memory columnar table, driven by the most selective filter's
+// posting list. It is infallible and pure with respect to the engine's
+// meter and caches.
+type ColumnarSubstrate struct {
+	tab *dataset.Table
+}
+
+// NewColumnarSubstrate creates the default in-process substrate over tab.
+func NewColumnarSubstrate(tab *dataset.Table) *ColumnarSubstrate {
+	return &ColumnarSubstrate{tab: tab}
+}
+
+// filterSpec is a resolved subspace filter.
+type filterSpec struct {
+	col  *dataset.DimColumn
+	code int32
+}
+
+func resolveFilters(tab *dataset.Table, s model.Subspace) []filterSpec {
+	specs := make([]filterSpec, 0, len(s))
+	for _, f := range s {
+		col := tab.Dimension(f.Dim)
+		specs = append(specs, filterSpec{col: col, code: int32(col.Code(f.Value))})
+	}
+	return specs
+}
+
+// scanPlan chooses the row set to iterate: the most selective filter's
+// posting list when the subspace is non-empty (the remaining filters are
+// verified per row), or the full table otherwise. It returns the driving
+// rows (nil = all rows) and the filters still to check.
+func scanPlan(tab *dataset.Table, filters []filterSpec) (drive []int32, rest []filterSpec) {
+	if len(filters) == 0 {
+		return nil, nil
+	}
+	best := -1
+	bestLen := tab.Rows() + 1
+	for i, f := range filters {
+		if l := len(f.col.Postings(int(f.code))); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	drive = filters[best].col.Postings(int(filters[best].code))
+	rest = make([]filterSpec, 0, len(filters)-1)
+	rest = append(rest, filters[:best]...)
+	rest = append(rest, filters[best+1:]...)
+	return drive, rest
+}
+
+// ScanUnit executes one filtered group-by scan across all measure columns,
+// producing the cache unit and the number of rows visited.
+func (c *ColumnarSubstrate) ScanUnit(s model.Subspace, breakdown string) (*cache.Unit, int, error) {
+	bcol := c.tab.Dimension(breakdown)
+	card := bcol.Cardinality()
+	filters := resolveFilters(c.tab, s)
+	mcols := c.tab.MeasureColumns()
+
+	counts := make([]float64, card)
+	sums := make([][]float64, len(mcols))
+	mins := make([][]float64, len(mcols))
+	maxs := make([][]float64, len(mcols))
+	for i := range mcols {
+		sums[i] = make([]float64, card)
+		mins[i] = make([]float64, card)
+		maxs[i] = make([]float64, card)
+		for g := 0; g < card; g++ {
+			mins[i][g] = math.Inf(1)
+			maxs[i][g] = math.Inf(-1)
+		}
+	}
+
+	drive, rest := scanPlan(c.tab, filters)
+	scanned := 0
+	accumulate := func(r int) {
+		for _, f := range rest {
+			if f.col.CodeAt(r) != f.code {
+				return
+			}
+		}
+		g := bcol.CodeAt(r)
+		counts[g]++
+		for i, mc := range mcols {
+			v := mc.At(r)
+			sums[i][g] += v
+			if v < mins[i][g] {
+				mins[i][g] = v
+			}
+			if v > maxs[i][g] {
+				maxs[i][g] = v
+			}
+		}
+	}
+	if drive == nil && len(filters) > 0 {
+		drive = []int32{} // non-empty subspace with an absent value: no rows
+	}
+	if len(filters) == 0 {
+		scanned = c.tab.Rows()
+		for r := 0; r < scanned; r++ {
+			accumulate(r)
+		}
+	} else {
+		scanned = len(drive)
+		for _, r := range drive {
+			accumulate(int(r))
+		}
+	}
+
+	return buildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs), scanned, nil
+}
+
+// ScanAugmented executes one scan grouped by (breakdown, ext), producing one
+// unit per non-empty value of ext and the number of rows visited.
+func (c *ColumnarSubstrate) ScanAugmented(base model.Subspace, breakdown, ext string) (map[string]*cache.Unit, int, error) {
+	bcol := c.tab.Dimension(breakdown)
+	dcol := c.tab.Dimension(ext)
+	bcard, dcard := bcol.Cardinality(), dcol.Cardinality()
+	filters := resolveFilters(c.tab, base)
+	mcols := c.tab.MeasureColumns()
+
+	cells := bcard * dcard
+	counts := make([]float64, cells)
+	sums := make([][]float64, len(mcols))
+	mins := make([][]float64, len(mcols))
+	maxs := make([][]float64, len(mcols))
+	for i := range mcols {
+		sums[i] = make([]float64, cells)
+		mins[i] = make([]float64, cells)
+		maxs[i] = make([]float64, cells)
+		for g := 0; g < cells; g++ {
+			mins[i][g] = math.Inf(1)
+			maxs[i][g] = math.Inf(-1)
+		}
+	}
+
+	drive, rest := scanPlan(c.tab, filters)
+	scanned := 0
+	accumulate := func(r int) {
+		for _, f := range rest {
+			if f.col.CodeAt(r) != f.code {
+				return
+			}
+		}
+		g := int(dcol.CodeAt(r))*bcard + int(bcol.CodeAt(r))
+		counts[g]++
+		for i, mc := range mcols {
+			v := mc.At(r)
+			sums[i][g] += v
+			if v < mins[i][g] {
+				mins[i][g] = v
+			}
+			if v > maxs[i][g] {
+				maxs[i][g] = v
+			}
+		}
+	}
+	if drive == nil && len(filters) > 0 {
+		drive = []int32{}
+	}
+	if len(filters) == 0 {
+		scanned = c.tab.Rows()
+		for r := 0; r < scanned; r++ {
+			accumulate(r)
+		}
+	} else {
+		scanned = len(drive)
+		for _, r := range drive {
+			accumulate(int(r))
+		}
+	}
+
+	units := make(map[string]*cache.Unit, dcard)
+	bdomain := bcol.Domain()
+	for dv := 0; dv < dcard; dv++ {
+		lo, hi := dv*bcard, (dv+1)*bcard
+		sub := base.With(ext, dcol.Value(dv))
+		colSums := make([][]float64, len(mcols))
+		colMins := make([][]float64, len(mcols))
+		colMaxs := make([][]float64, len(mcols))
+		for i := range mcols {
+			colSums[i] = sums[i][lo:hi]
+			colMins[i] = mins[i][lo:hi]
+			colMaxs[i] = maxs[i][lo:hi]
+		}
+		u := buildUnit(sub.Key(), breakdown, bdomain, counts[lo:hi], mcols, colSums, colMins, colMaxs)
+		if len(u.GroupKeys) > 0 {
+			units[dcol.Value(dv)] = u
+		}
+	}
+	return units, scanned, nil
+}
+
+// buildUnit compresses full-domain accumulator arrays into a unit holding
+// only the non-empty groups.
+func buildUnit(subspaceKey, breakdown string, domain []string, counts []float64,
+	mcols []*dataset.MeasureColumn, sums, mins, maxs [][]float64) *cache.Unit {
+
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	u := &cache.Unit{
+		Key:       cache.UnitKey{Subspace: subspaceKey, Breakdown: breakdown},
+		GroupKeys: make([]string, 0, nonEmpty),
+		Counts:    make([]float64, 0, nonEmpty),
+		Sums:      make(map[string][]float64, len(mcols)),
+		Mins:      make(map[string][]float64, len(mcols)),
+		Maxs:      make(map[string][]float64, len(mcols)),
+	}
+	for _, mc := range mcols {
+		u.Sums[mc.Name] = make([]float64, 0, nonEmpty)
+		u.Mins[mc.Name] = make([]float64, 0, nonEmpty)
+		u.Maxs[mc.Name] = make([]float64, 0, nonEmpty)
+	}
+	for g, c := range counts {
+		if c == 0 {
+			continue
+		}
+		u.GroupKeys = append(u.GroupKeys, domain[g])
+		u.Counts = append(u.Counts, c)
+		for i, mc := range mcols {
+			u.Sums[mc.Name] = append(u.Sums[mc.Name], sums[i][g])
+			u.Mins[mc.Name] = append(u.Mins[mc.Name], mins[i][g])
+			u.Maxs[mc.Name] = append(u.Maxs[mc.Name], maxs[i][g])
+		}
+	}
+	return u
+}

@@ -21,6 +21,7 @@ import (
 	"metainsight/internal/cache"
 	"metainsight/internal/dataset"
 	"metainsight/internal/engine"
+	"metainsight/internal/faults"
 	"metainsight/internal/miner"
 	"metainsight/internal/obs"
 	"metainsight/internal/pattern"
@@ -50,6 +51,11 @@ type Setup struct {
 	// Observers are inert: results and statistics must be bit-identical with
 	// or without one (Smoke asserts this in CI).
 	Observer *obs.Observer
+	// Faults, when enabled, injects deterministic query faults into the run
+	// (Smoke exercises the resilience path with it); Retry shapes the
+	// retry/backoff/deadline response.
+	Faults faults.Policy
+	Retry  faults.RetryPolicy
 }
 
 // FullFunctionality is the paper's golden configuration: all optimizations
@@ -65,6 +71,7 @@ func (s Setup) Run(tab *dataset.Table) (*miner.Result, *engine.Engine) {
 		QueryCache: cache.NewQueryCache(s.QueryCache),
 		Meter:      meter,
 		Observer:   s.Observer,
+		Faults:     faults.NewInjector(s.Faults, s.Retry),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

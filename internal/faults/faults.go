@@ -1,0 +1,521 @@
+// Package faults is the deterministic fault model of the query substrate.
+// The paper's implementation mined over Excel's query interface — a slow,
+// failure-prone IPC boundary — while the in-process columnar substrate of
+// internal/engine can never fail, so none of the miner's error paths would
+// otherwise ever be exercised. This package injects that missing adversity
+// back in, reproducibly: transient errors, permanent errors and simulated
+// latency, decided by a seeded hash of the canonical query fingerprint and
+// the attempt index — never wall-clock time or a shared RNG — so a query's
+// fate is a pure function of its identity. That purity is what lets the
+// miner keep its worker-count-invariance guarantee (PR 1) under failure:
+// whichever worker touches a query, whenever it runs, the outcome is the
+// same, and the dispatcher can replay the identical decision in canonical
+// commit order for accounting.
+//
+// On top of the injector sit the resilience policies: capped exponential
+// backoff with deterministic jitter, per-query cost deadlines, and a
+// consecutive-failure circuit breaker. Backoff and latency are charged to
+// the engine's cost meter (simulated time, like every other engine cost)
+// rather than slept, keeping runs fast and bit-reproducible.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Policy configures fault injection. The zero value injects nothing.
+type Policy struct {
+	// Seed keys every injection decision; two runs with the same seed and
+	// workload draw identical faults.
+	Seed uint64
+	// TransientRate is the probability, per (query, attempt), that the
+	// attempt fails with a retryable error.
+	TransientRate float64
+	// PermanentRate is the probability, per query fingerprint, that the
+	// query fails permanently: every attempt errors, retrying never helps.
+	PermanentRate float64
+	// LatencyRate is the probability, per (query, attempt), that the attempt
+	// is charged injected latency.
+	LatencyRate float64
+	// LatencyUnits is the mean injected latency in engine cost units; an
+	// affected attempt is charged LatencyUnits × U where U is a deterministic
+	// uniform draw in [0.5, 1.5).
+	LatencyUnits float64
+}
+
+// Enabled reports whether the policy injects anything.
+func (p Policy) Enabled() bool {
+	return p.TransientRate > 0 || p.PermanentRate > 0 || (p.LatencyRate > 0 && p.LatencyUnits > 0)
+}
+
+// Validate rejects rates outside [0, 1] and negative latency.
+func (p Policy) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"transient", p.TransientRate},
+		{"permanent", p.PermanentRate},
+		{"latency-rate", p.LatencyRate},
+	} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("faults: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if p.LatencyUnits < 0 || math.IsNaN(p.LatencyUnits) || math.IsInf(p.LatencyUnits, 0) {
+		return fmt.Errorf("faults: latency %v is not a non-negative finite number", p.LatencyUnits)
+	}
+	return nil
+}
+
+// RetryPolicy configures the resilience layer around a fallible substrate.
+// The zero value is filled field-by-field by WithDefaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per query, including the
+	// first (1 = no retries). Default 4.
+	MaxAttempts int
+	// BaseBackoff is the cost-unit charge of the first backoff. Default 1.
+	BaseBackoff float64
+	// BackoffFactor multiplies the backoff after each failed attempt.
+	// Default 2.
+	BackoffFactor float64
+	// MaxBackoff caps a single backoff charge. Default 16.
+	MaxBackoff float64
+	// JitterFrac spreads each backoff by ±JitterFrac/2, drawn
+	// deterministically from the query fingerprint and attempt index.
+	// Default 0.25.
+	JitterFrac float64
+	// DeadlineUnits is the per-query cost deadline: once the accumulated
+	// injected latency, backoff and prospective scan cost of a query exceed
+	// it, retrying stops and the query fails with ReasonDeadline.
+	// 0 disables the deadline.
+	DeadlineUnits float64
+	// BreakerThreshold opens the circuit breaker after this many consecutive
+	// permanently-failed queries (in canonical commit order); while open,
+	// failed queries fast-fail without retry spending until a success closes
+	// it. 0 disables the breaker.
+	BreakerThreshold int
+}
+
+// WithDefaults returns the policy with unset (zero) fields individually
+// replaced by the defaults, so overriding one knob keeps the rest meaningful.
+func (r RetryPolicy) WithDefaults() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 4
+	}
+	if r.BaseBackoff == 0 {
+		r.BaseBackoff = 1
+	}
+	if r.BackoffFactor == 0 {
+		r.BackoffFactor = 2
+	}
+	if r.MaxBackoff == 0 {
+		r.MaxBackoff = 16
+	}
+	if r.JitterFrac == 0 {
+		r.JitterFrac = 0.25
+	}
+	return r
+}
+
+// Reason classifies why a query resolution failed.
+type Reason uint8
+
+const (
+	// ReasonNone: the query succeeded.
+	ReasonNone Reason = iota
+	// ReasonPermanent: the injector marked the fingerprint permanently
+	// failing; no attempt can succeed.
+	ReasonPermanent
+	// ReasonExhausted: every allowed attempt failed transiently.
+	ReasonExhausted
+	// ReasonDeadline: the per-query cost deadline expired before an attempt
+	// succeeded.
+	ReasonDeadline
+)
+
+var reasonNames = [...]string{
+	ReasonNone:      "ok",
+	ReasonPermanent: "permanent",
+	ReasonExhausted: "attempts-exhausted",
+	ReasonDeadline:  "deadline-exceeded",
+}
+
+// String returns the stable wire name of the reason.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", r)
+}
+
+// QueryError is the error returned by engine query paths for a query whose
+// resolution failed. It wraps ErrQueryFailed so callers can errors.Is it.
+type QueryError struct {
+	// Fingerprint is the canonical query fingerprint the decision was keyed
+	// by.
+	Fingerprint string
+	// Reason is the failure classification.
+	Reason Reason
+	// Attempts is how many attempts were made before giving up.
+	Attempts int
+}
+
+// ErrQueryFailed is the sentinel wrapped by every QueryError.
+var ErrQueryFailed = errors.New("faults: query failed")
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("faults: query %s failed (%s after %d attempt(s))",
+		e.Fingerprint, e.Reason, e.Attempts)
+}
+
+// Unwrap lets errors.Is(err, ErrQueryFailed) match.
+func (e *QueryError) Unwrap() error { return ErrQueryFailed }
+
+// Resolution is the complete, deterministic fate of one query under the
+// injector: how many attempts a sequential execution makes, whether it
+// ultimately succeeds, and what the retry machinery costs. It is a pure
+// function of (policy, fingerprint), so the engine's physical execution and
+// the miner's canonical commit-order replay compute identical resolutions
+// independently — the invariant that keeps failure handling worker-count-
+// deterministic.
+type Resolution struct {
+	// Attempts made (≥ 1).
+	Attempts int
+	// OK reports final success.
+	OK bool
+	// Reason is ReasonNone when OK, else the failure classification.
+	Reason Reason
+	// FaultCost is the injected latency plus backoff charged across all
+	// attempts, in engine cost units. It excludes the scan's own cost.
+	FaultCost float64
+	// FirstCost is attempt 0's injected latency alone — the charge of a
+	// fast-fail when the circuit breaker is open.
+	FirstCost float64
+}
+
+// Retries returns the number of retry attempts (attempts beyond the first).
+func (r Resolution) Retries() int64 { return int64(r.Attempts - 1) }
+
+// Err returns the QueryError for a failed resolution of fp, nil when OK.
+func (r Resolution) Err(fp string) error {
+	if r.OK {
+		return nil
+	}
+	return &QueryError{Fingerprint: fp, Reason: r.Reason, Attempts: r.Attempts}
+}
+
+// Injector draws deterministic fault decisions and resolves queries under a
+// retry policy. A nil *Injector is valid and injects nothing (every query
+// resolves OK in one attempt at zero fault cost), so instrumented paths need
+// no conditionals.
+type Injector struct {
+	policy Policy
+	retry  RetryPolicy
+	active bool
+	// seedA/seedB pre-mix the seed so per-draw hashing is cheap.
+	seedA, seedB uint64
+}
+
+// NewInjector builds an injector from an injection policy and a retry
+// policy. It returns nil when the policy injects nothing and the retry
+// policy is zero — the no-fault fast path. Retry defaults are applied here,
+// once.
+func NewInjector(p Policy, r RetryPolicy) *Injector {
+	if !p.Enabled() && r == (RetryPolicy{}) {
+		return nil
+	}
+	in := &Injector{policy: p, retry: r.WithDefaults(), active: p.Enabled()}
+	in.seedA = splitmix64(p.Seed ^ 0x9e3779b97f4a7c15)
+	in.seedB = splitmix64(in.seedA ^ 0xd1b54a32d192ed03)
+	return in
+}
+
+// Enabled reports whether the injector injects faults (a nil injector, or
+// one built for retry policy only, does not).
+func (in *Injector) Enabled() bool { return in != nil && in.active }
+
+// Retry returns the effective retry policy (defaults applied); the zero
+// value on a nil injector.
+func (in *Injector) Retry() RetryPolicy {
+	if in == nil {
+		return RetryPolicy{}
+	}
+	return in.retry
+}
+
+// MaxAttempts returns the physical retry budget for real (non-injected)
+// substrate errors: 1 on a nil injector.
+func (in *Injector) MaxAttempts() int {
+	if in == nil {
+		return 1
+	}
+	return in.retry.MaxAttempts
+}
+
+// draw kinds, mixed into the hash so the decision streams are independent.
+const (
+	drawPermanent = 0x70 // 'p'
+	drawTransient = 0x74 // 't'
+	drawLatencyOn = 0x6c // 'l'
+	drawLatencyV  = 0x4c // 'L'
+	drawJitter    = 0x6a // 'j'
+)
+
+// u01 returns a deterministic uniform draw in [0, 1) keyed by (seed, kind,
+// fingerprint, attempt).
+func (in *Injector) u01(kind byte, fp string, attempt int) float64 {
+	h := in.seedA
+	for i := 0; i < len(fp); i++ {
+		h = (h ^ uint64(fp[i])) * 0x100000001b3
+	}
+	h ^= uint64(kind) * 0x9e3779b97f4a7c15
+	h ^= uint64(attempt) * 0xd1b54a32d192ed03
+	h = splitmix64(h ^ in.seedB)
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap, well-
+// mixed 64-bit permutation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// latency returns the injected latency charge for one attempt.
+func (in *Injector) latency(fp string, attempt int) float64 {
+	if in.policy.LatencyRate <= 0 || in.policy.LatencyUnits <= 0 {
+		return 0
+	}
+	if in.u01(drawLatencyOn, fp, attempt) >= in.policy.LatencyRate {
+		return 0
+	}
+	return in.policy.LatencyUnits * (0.5 + in.u01(drawLatencyV, fp, attempt))
+}
+
+// backoff returns the jittered backoff charged after failed attempt i.
+func (in *Injector) backoff(fp string, attempt int) float64 {
+	b := in.retry.BaseBackoff * math.Pow(in.retry.BackoffFactor, float64(attempt))
+	if b > in.retry.MaxBackoff {
+		b = in.retry.MaxBackoff
+	}
+	if in.retry.JitterFrac > 0 {
+		b *= 1 + in.retry.JitterFrac*(in.u01(drawJitter, fp, attempt)-0.5)
+	}
+	return b
+}
+
+// Resolve computes the deterministic fate of the query identified by fp.
+// scanCost is the analytic cost of the scan a successful attempt executes;
+// it participates in the deadline check but is not included in FaultCost.
+// Resolve is pure: it reads no state and the same (injector, fp, scanCost)
+// always returns the same Resolution.
+func (in *Injector) Resolve(fp string, scanCost float64) Resolution {
+	if !in.Enabled() {
+		return Resolution{Attempts: 1, OK: true}
+	}
+	if in.policy.PermanentRate > 0 && in.u01(drawPermanent, fp, 0) < in.policy.PermanentRate {
+		lat := in.latency(fp, 0)
+		return Resolution{Attempts: 1, Reason: ReasonPermanent, FaultCost: lat, FirstCost: lat}
+	}
+	res := Resolution{}
+	cost := 0.0
+	for i := 0; i < in.retry.MaxAttempts; i++ {
+		lat := in.latency(fp, i)
+		cost += lat
+		if i == 0 {
+			res.FirstCost = lat
+		}
+		res.Attempts = i + 1
+		if in.u01(drawTransient, fp, i) >= in.policy.TransientRate {
+			res.OK = true
+			res.FaultCost = cost
+			return res
+		}
+		if i == in.retry.MaxAttempts-1 {
+			res.Reason = ReasonExhausted
+			break
+		}
+		cost += in.backoff(fp, i)
+		if in.retry.DeadlineUnits > 0 && cost+scanCost > in.retry.DeadlineUnits {
+			res.Reason = ReasonDeadline
+			break
+		}
+	}
+	res.FaultCost = cost
+	return res
+}
+
+// Breaker is the consecutive-failure circuit breaker. It is not safe for
+// concurrent use by design: the miner drives it exclusively from the
+// dispatcher's canonical commit path, which is what makes its state — and
+// therefore Stats.BreakerTrips and the retry spending it suppresses —
+// bit-identical across worker counts. The breaker never changes whether a
+// query succeeds (success is a pure function of the fingerprint); while
+// open it only suppresses retry/backoff spending on queries that would fail
+// anyway, modeling fail-fast load shedding on a broken backend.
+type Breaker struct {
+	threshold   int
+	consecutive int
+	open        bool
+	trips       int64
+}
+
+// NewBreaker creates a breaker opening after threshold consecutive failures;
+// nil (disabled) when threshold <= 0.
+func NewBreaker(threshold int) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	return &Breaker{threshold: threshold}
+}
+
+// Open reports whether the breaker is open (fast-fail mode).
+func (b *Breaker) Open() bool { return b != nil && b.open }
+
+// Success records one successfully executed query: the failure streak resets
+// and an open breaker closes.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.consecutive = 0
+	b.open = false
+}
+
+// Failure records one permanently failed query and reports whether this
+// failure tripped the breaker open.
+func (b *Breaker) Failure() bool {
+	if b == nil {
+		return false
+	}
+	b.consecutive++
+	if !b.open && b.consecutive >= b.threshold {
+		b.open = true
+		b.trips++
+		return true
+	}
+	return false
+}
+
+// Consecutive returns the current failure streak length.
+func (b *Breaker) Consecutive() int {
+	if b == nil {
+		return 0
+	}
+	return b.consecutive
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips
+}
+
+// ParseSpec parses a comma-separated key=value fault specification, the
+// cmd/metainsight -faults flag format. Recognized keys:
+//
+//	seed=N            injection seed (uint64)
+//	transient=F       per-attempt transient failure rate in [0, 1]
+//	permanent=F       per-query permanent failure rate in [0, 1]
+//	latency-rate=F    per-attempt injected-latency rate in [0, 1]
+//	latency=F         mean injected latency in cost units
+//	attempts=N        retry budget (total attempts per query)
+//	backoff=F         base backoff charge in cost units
+//	backoff-factor=F  backoff growth factor
+//	max-backoff=F     backoff cap in cost units
+//	jitter=F          backoff jitter fraction
+//	deadline=F        per-query cost deadline in units (0 = none)
+//	breaker=N         consecutive failures that open the circuit breaker
+//
+// An empty spec returns zero policies. Unknown keys, malformed numbers and
+// out-of-range rates are errors.
+func ParseSpec(spec string) (Policy, RetryPolicy, error) {
+	var p Policy
+	var r RetryPolicy
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, r, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Policy{}, RetryPolicy{}, fmt.Errorf("faults: %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		badNum := func(err error) error {
+			return fmt.Errorf("faults: bad value %q for %q: %v", val, key, err)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Policy{}, RetryPolicy{}, badNum(err)
+			}
+			p.Seed = n
+		case "transient", "permanent", "latency-rate", "latency", "backoff",
+			"backoff-factor", "max-backoff", "jitter", "deadline":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Policy{}, RetryPolicy{}, badNum(err)
+			}
+			if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+				return Policy{}, RetryPolicy{}, fmt.Errorf("faults: value %v for %q is not a non-negative finite number", f, key)
+			}
+			switch key {
+			case "transient":
+				p.TransientRate = f
+			case "permanent":
+				p.PermanentRate = f
+			case "latency-rate":
+				p.LatencyRate = f
+			case "latency":
+				p.LatencyUnits = f
+			case "backoff":
+				r.BaseBackoff = f
+			case "backoff-factor":
+				r.BackoffFactor = f
+			case "max-backoff":
+				r.MaxBackoff = f
+			case "jitter":
+				r.JitterFrac = f
+			case "deadline":
+				r.DeadlineUnits = f
+			}
+		case "attempts", "breaker":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Policy{}, RetryPolicy{}, badNum(err)
+			}
+			if n < 0 {
+				return Policy{}, RetryPolicy{}, fmt.Errorf("faults: negative value %d for %q", n, key)
+			}
+			switch key {
+			case "attempts":
+				r.MaxAttempts = n
+			case "breaker":
+				r.BreakerThreshold = n
+			}
+		default:
+			return Policy{}, RetryPolicy{}, fmt.Errorf("faults: unknown key %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Policy{}, RetryPolicy{}, err
+	}
+	return p, r, nil
+}

@@ -1,0 +1,371 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports Enabled")
+	}
+	if got := in.MaxAttempts(); got != 1 {
+		t.Fatalf("nil injector MaxAttempts = %d, want 1", got)
+	}
+	res := in.Resolve("u|k|dim", 12)
+	want := Resolution{Attempts: 1, OK: true}
+	if res != want {
+		t.Fatalf("nil injector Resolve = %+v, want %+v", res, want)
+	}
+	if NewInjector(Policy{}, RetryPolicy{}) != nil {
+		t.Fatal("NewInjector with zero policies should return nil")
+	}
+}
+
+func TestRetryPolicyWithDefaults(t *testing.T) {
+	def := RetryPolicy{}.WithDefaults()
+	if def.MaxAttempts != 4 || def.BaseBackoff != 1 || def.BackoffFactor != 2 ||
+		def.MaxBackoff != 16 || def.JitterFrac != 0.25 {
+		t.Fatalf("unexpected defaults: %+v", def)
+	}
+	// Overriding one knob keeps the rest defaulted.
+	p := RetryPolicy{MaxAttempts: 7}.WithDefaults()
+	if p.MaxAttempts != 7 || p.BackoffFactor != 2 {
+		t.Fatalf("partial override broken: %+v", p)
+	}
+	// Deadline and breaker stay zero (disabled) by default.
+	if def.DeadlineUnits != 0 || def.BreakerThreshold != 0 {
+		t.Fatalf("deadline/breaker should default off: %+v", def)
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	p := Policy{Seed: 42, TransientRate: 0.3, PermanentRate: 0.05, LatencyRate: 0.2, LatencyUnits: 3}
+	in := NewInjector(p, RetryPolicy{})
+	in2 := NewInjector(p, RetryPolicy{})
+	fps := []string{"u|a|dim", "u|b|dim", "a|a|dim|ext", "u|a|other", ""}
+	for _, fp := range fps {
+		r1 := in.Resolve(fp, 10)
+		for i := 0; i < 5; i++ {
+			if r := in.Resolve(fp, 10); r != r1 {
+				t.Fatalf("Resolve(%q) not stable: %+v vs %+v", fp, r1, r)
+			}
+		}
+		if r := in2.Resolve(fp, 10); r != r1 {
+			t.Fatalf("Resolve(%q) differs across injector instances: %+v vs %+v", fp, r1, r)
+		}
+	}
+	// A different seed must produce a different decision stream somewhere.
+	in3 := NewInjector(Policy{Seed: 43, TransientRate: 0.3, PermanentRate: 0.05, LatencyRate: 0.2, LatencyUnits: 3}, RetryPolicy{})
+	same := true
+	for i := 0; i < 200 && same; i++ {
+		fp := strings.Repeat("x", i%7) + "u|fp|" + string(rune('a'+i%26))
+		if in.Resolve(fp, 10) != in3.Resolve(fp, 10) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 resolved 200 fingerprints identically")
+	}
+}
+
+func TestResolveRates(t *testing.T) {
+	tests := []struct {
+		name   string
+		policy Policy
+		retry  RetryPolicy
+		check  func(t *testing.T, ok, failed, retried int, n int)
+	}{
+		{
+			name:   "all-clear",
+			policy: Policy{Seed: 1, LatencyRate: 1, LatencyUnits: 2},
+			check: func(t *testing.T, ok, failed, retried, n int) {
+				if ok != n || failed != 0 || retried != 0 {
+					t.Fatalf("latency-only policy: ok=%d failed=%d retried=%d of %d", ok, failed, retried, n)
+				}
+			},
+		},
+		{
+			name:   "always-transient-exhausts",
+			policy: Policy{Seed: 1, TransientRate: 1},
+			retry:  RetryPolicy{MaxAttempts: 3},
+			check: func(t *testing.T, ok, failed, retried, n int) {
+				if ok != 0 || failed != n {
+					t.Fatalf("transient=1: ok=%d failed=%d of %d", ok, failed, n)
+				}
+			},
+		},
+		{
+			name:   "always-permanent",
+			policy: Policy{Seed: 1, PermanentRate: 1},
+			check: func(t *testing.T, ok, failed, retried, n int) {
+				if failed != n || retried != 0 {
+					t.Fatalf("permanent=1: failed=%d retried=%d of %d", failed, retried, n)
+				}
+			},
+		},
+		{
+			name:   "moderate-transient-mostly-recovers",
+			policy: Policy{Seed: 7, TransientRate: 0.3},
+			check: func(t *testing.T, ok, failed, retried, n int) {
+				// P(4 consecutive transient failures) = 0.3^4 ≈ 0.8%.
+				if ok < n*9/10 {
+					t.Fatalf("transient=0.3 with retries: only %d/%d ok", ok, n)
+				}
+				if retried == 0 {
+					t.Fatal("transient=0.3: no query ever retried")
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in := NewInjector(tc.policy, tc.retry)
+			const n = 500
+			var ok, failed, retried int
+			for i := 0; i < n; i++ {
+				fp := "u|fp" + string(rune('a'+i%26)) + strings.Repeat("y", i%11)
+				r := in.Resolve(fp, 5)
+				if r.OK {
+					ok++
+				} else {
+					failed++
+					if r.Reason == ReasonNone {
+						t.Fatalf("failed resolution with ReasonNone: %+v", r)
+					}
+				}
+				if r.Attempts > 1 {
+					retried++
+				}
+				if r.Attempts < 1 {
+					t.Fatalf("resolution with %d attempts", r.Attempts)
+				}
+				if r.FaultCost < 0 || r.FirstCost < 0 || r.FirstCost > r.FaultCost+1e-12 {
+					t.Fatalf("inconsistent costs: %+v", r)
+				}
+			}
+			tc.check(t, ok, failed, retried, n)
+		})
+	}
+}
+
+func TestResolvePermanentFailsEveryAttemptBudget(t *testing.T) {
+	// A permanently failing fingerprint resolves identically regardless of
+	// the retry budget: one attempt, ReasonPermanent.
+	fp := findFingerprint(t, Policy{Seed: 3, PermanentRate: 0.5}, ReasonPermanent, RetryPolicy{})
+	for _, attempts := range []int{1, 2, 8} {
+		in := NewInjector(Policy{Seed: 3, PermanentRate: 0.5}, RetryPolicy{MaxAttempts: attempts})
+		r := in.Resolve(fp, 5)
+		if r.OK || r.Reason != ReasonPermanent || r.Attempts != 1 {
+			t.Fatalf("attempts=%d: %+v", attempts, r)
+		}
+	}
+}
+
+func TestResolveDeadline(t *testing.T) {
+	// transient=1 so every attempt fails; a tight cost deadline must cut
+	// retrying short with ReasonDeadline before the budget is exhausted.
+	p := Policy{Seed: 9, TransientRate: 1}
+	unlimited := NewInjector(p, RetryPolicy{MaxAttempts: 6})
+	tight := NewInjector(p, RetryPolicy{MaxAttempts: 6, DeadlineUnits: 2})
+	fp := "u|deadline|dim"
+	ru := unlimited.Resolve(fp, 5)
+	rt := tight.Resolve(fp, 5)
+	if ru.Reason != ReasonExhausted || ru.Attempts != 6 {
+		t.Fatalf("unlimited: %+v", ru)
+	}
+	if rt.Reason != ReasonDeadline {
+		t.Fatalf("tight deadline: %+v", rt)
+	}
+	if rt.Attempts >= ru.Attempts {
+		t.Fatalf("deadline did not shorten retries: %d vs %d", rt.Attempts, ru.Attempts)
+	}
+	if rt.FaultCost >= ru.FaultCost {
+		t.Fatalf("deadline did not cap cost: %v vs %v", rt.FaultCost, ru.FaultCost)
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	r := RetryPolicy{BaseBackoff: 1, BackoffFactor: 2, MaxBackoff: 4, JitterFrac: 0.5}.WithDefaults()
+	in := NewInjector(Policy{Seed: 11, TransientRate: 0.5}, r)
+	for attempt := 0; attempt < 10; attempt++ {
+		b := in.backoff("u|fp|dim", attempt)
+		// Cap 4, jitter ±25% → bound 5.
+		if b <= 0 || b > 4*1.25 {
+			t.Fatalf("attempt %d: backoff %v outside (0, 5]", attempt, b)
+		}
+	}
+	// Without jitter, backoff is exactly the capped exponential.
+	nj := NewInjector(Policy{Seed: 11, TransientRate: 0.5},
+		RetryPolicy{BaseBackoff: 1, BackoffFactor: 2, MaxBackoff: 8, JitterFrac: -1})
+	for attempt, want := range []float64{1, 2, 4, 8, 8, 8} {
+		if got := nj.backoff("u|fp|dim", attempt); got != want {
+			t.Fatalf("attempt %d: backoff %v, want %v", attempt, got, want)
+		}
+	}
+}
+
+func TestBreaker(t *testing.T) {
+	if NewBreaker(0) != nil {
+		t.Fatal("threshold 0 should disable the breaker")
+	}
+	var nilB *Breaker
+	if nilB.Open() || nilB.Failure() || nilB.Trips() != 0 {
+		t.Fatal("nil breaker should be inert")
+	}
+	nilB.Success()
+
+	b := NewBreaker(3)
+	if b.Failure() || b.Failure() {
+		t.Fatal("breaker tripped before threshold")
+	}
+	if !b.Failure() {
+		t.Fatal("third consecutive failure should trip")
+	}
+	if !b.Open() || b.Trips() != 1 {
+		t.Fatalf("after trip: open=%v trips=%d", b.Open(), b.Trips())
+	}
+	// Further failures while open do not re-trip.
+	if b.Failure() {
+		t.Fatal("failure while open reported a new trip")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	b.Success()
+	if b.Open() || b.Consecutive() != 0 {
+		t.Fatal("success should close the breaker and reset the streak")
+	}
+	// It can trip again after closing.
+	b.Failure()
+	b.Failure()
+	if !b.Failure() || b.Trips() != 2 {
+		t.Fatalf("second trip cycle: open=%v trips=%d", b.Open(), b.Trips())
+	}
+}
+
+func TestQueryError(t *testing.T) {
+	err := &QueryError{Fingerprint: "u|k|dim", Reason: ReasonExhausted, Attempts: 4}
+	if !errors.Is(err, ErrQueryFailed) {
+		t.Fatal("QueryError does not match ErrQueryFailed")
+	}
+	msg := err.Error()
+	for _, want := range []string{"u|k|dim", "attempts-exhausted", "4"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r, want := range map[Reason]string{
+		ReasonNone:      "ok",
+		ReasonPermanent: "permanent",
+		ReasonExhausted: "attempts-exhausted",
+		ReasonDeadline:  "deadline-exceeded",
+		Reason(99):      "reason(99)",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("Reason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	tests := []struct {
+		spec    string
+		policy  Policy
+		retry   RetryPolicy
+		wantErr bool
+	}{
+		{spec: ""},
+		{spec: "  ,  "},
+		{
+			spec:   "seed=7,transient=0.05,permanent=0.01,latency-rate=0.2,latency=3",
+			policy: Policy{Seed: 7, TransientRate: 0.05, PermanentRate: 0.01, LatencyRate: 0.2, LatencyUnits: 3},
+		},
+		{
+			spec:  "attempts=5,backoff=0.5,backoff-factor=3,max-backoff=20,jitter=0.1,deadline=50,breaker=4",
+			retry: RetryPolicy{MaxAttempts: 5, BaseBackoff: 0.5, BackoffFactor: 3, MaxBackoff: 20, JitterFrac: 0.1, DeadlineUnits: 50, BreakerThreshold: 4},
+		},
+		{spec: "transient = 0.1 , seed = 3", policy: Policy{Seed: 3, TransientRate: 0.1}},
+		{spec: "transient=1.5", wantErr: true},
+		{spec: "transient=-0.1", wantErr: true},
+		{spec: "transient=NaN", wantErr: true},
+		{spec: "latency=Inf", wantErr: true},
+		{spec: "seed=-1", wantErr: true},
+		{spec: "attempts=x", wantErr: true},
+		{spec: "breaker=-2", wantErr: true},
+		{spec: "bogus=1", wantErr: true},
+		{spec: "transient", wantErr: true},
+	}
+	for _, tc := range tests {
+		p, r, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("ParseSpec(%q): expected error, got %+v %+v", tc.spec, p, r)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+		}
+		if p != tc.policy || r != tc.retry {
+			t.Fatalf("ParseSpec(%q) = %+v, %+v; want %+v, %+v", tc.spec, p, r, tc.policy, tc.retry)
+		}
+	}
+}
+
+// findFingerprint scans for a fingerprint whose resolution under p has the
+// given reason.
+func findFingerprint(t *testing.T, p Policy, reason Reason, r RetryPolicy) string {
+	t.Helper()
+	in := NewInjector(p, r)
+	for i := 0; i < 10000; i++ {
+		fp := "u|seek" + strings.Repeat("z", i%13) + string(rune('a'+i%26)) + "|dim"
+		if res := in.Resolve(fp, 1); res.Reason == reason {
+			return fp
+		}
+	}
+	t.Fatalf("no fingerprint with reason %v found", reason)
+	return ""
+}
+
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=7,transient=0.05")
+	f.Add("attempts=5,breaker=2,deadline=10")
+	f.Add("transient=1.5")
+	f.Add("latency=1e308,latency-rate=1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, r, err := ParseSpec(spec)
+		if err != nil {
+			if p != (Policy{}) || r != (RetryPolicy{}) {
+				t.Fatalf("non-zero policies alongside error: %+v %+v", p, r)
+			}
+			return
+		}
+		if p.Validate() != nil {
+			t.Fatalf("accepted spec %q yields invalid policy %+v", spec, p)
+		}
+		// Any accepted spec must build a usable injector whose resolutions
+		// are internally consistent and deterministic.
+		in := NewInjector(p, r)
+		res := in.Resolve("u|fuzz|dim", 5)
+		if res.Attempts < 1 {
+			t.Fatalf("resolution with %d attempts", res.Attempts)
+		}
+		if res.OK != (res.Reason == ReasonNone) {
+			t.Fatalf("OK/Reason mismatch: %+v", res)
+		}
+		if math.IsNaN(res.FaultCost) || res.FaultCost < 0 {
+			t.Fatalf("bad fault cost: %+v", res)
+		}
+		if res2 := in.Resolve("u|fuzz|dim", 5); res2 != res {
+			t.Fatalf("nondeterministic resolve: %+v vs %+v", res, res2)
+		}
+	})
+}

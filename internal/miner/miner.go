@@ -21,6 +21,7 @@ package miner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -91,6 +92,13 @@ type Config struct {
 	// accumulated via atomics. Observation is inert: results, statistics and
 	// budget spending are bit-identical with the observer on or off.
 	Observer *obs.Observer
+	// DegradedThreshold is the failure-rate bound of graceful degradation:
+	// when more than this fraction of the run's unit queries permanently
+	// failed (injected faults or substrate errors), the result is still
+	// returned — best-effort, with every committed MetaInsight — but
+	// Result.Err is set to a wrapped ErrDegraded. The default is 0.1; set
+	// negative to flag any failure, or >= 1 to never flag.
+	DegradedThreshold float64
 	// PatternsFirst schedules MetaInsight compute units only when no
 	// data-pattern work is pending, following the sequential reading of the
 	// paper's workflow (the data pattern mining module feeds the
@@ -117,8 +125,15 @@ func DefaultConfig() Config {
 		EnablePruning1:          true,
 		EnablePruning2:          true,
 		Budget:                  Unlimited{},
+		DegradedThreshold:       0.1,
 	}
 }
+
+// ErrDegraded is reported (wrapped, via Result.Err) when a run's query
+// failure rate exceeded Config.DegradedThreshold. The result still carries
+// every MetaInsight committed from the queries that did succeed; the error
+// marks the output as best-effort rather than complete.
+var ErrDegraded = errors.New("miner: degraded result: query failure rate exceeded threshold")
 
 // Stats aggregates counters from one mining run. All counters reflect
 // committed compute units only and are identical for any Workers value.
@@ -131,6 +146,24 @@ type Stats struct {
 	Pruned1          int64 // HDP evaluations cut short by Pruning 1
 	Pruned2          int64 // MetaInsight units discarded by Pruning 2
 	PrefetchFailures int64 // augmented prefetches that fell back to basic queries
+	// FailedUnits counts queries that permanently failed (injected permanent
+	// faults, exhausted retries, deadline overruns, or real substrate
+	// errors); each is skipped-but-accounted and the run continues.
+	FailedUnits int64
+	// Retries counts failed attempts that were retried (both those that
+	// eventually succeeded and those that exhausted their attempt budget).
+	Retries int64
+	// BreakerTrips counts circuit-breaker open transitions.
+	BreakerTrips int64
+	// Evictions counts entries evicted from the byte-bounded caches, per the
+	// canonical commit-order simulation (0 when the caches are unbounded).
+	Evictions int64
+	// ShortSeriesSkips counts (scope, measure) series skipped for having
+	// fewer than 3 points — expected data sparsity, not an error.
+	ShortSeriesSkips int64
+	// ExtractErrors counts series extractions that failed structurally
+	// (missing measure column), previously conflated with short series.
+	ExtractErrors    int64
 	ExecutedQueries  int64
 	AugmentedQueries int64
 	CacheServed      int64
@@ -149,6 +182,10 @@ type Stats struct {
 type Result struct {
 	MetaInsights []*core.MetaInsight
 	Stats        Stats
+	// Err is non-nil when the run degraded: the query failure rate exceeded
+	// Config.DegradedThreshold (errors.Is(Err, ErrDegraded)). MetaInsights
+	// and Stats are still valid best-effort output.
+	Err error
 }
 
 // Keys returns the identity keys of the mined MetaInsights, the set the
@@ -208,6 +245,9 @@ func New(eng *engine.Engine, cfg Config) *Miner {
 	}
 	if cfg.Budget == nil {
 		cfg.Budget = Unlimited{}
+	}
+	if cfg.DegradedThreshold == 0 {
+		cfg.DegradedThreshold = def.DegradedThreshold
 	}
 	if cfg.PatternCache == nil {
 		cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](true)
@@ -462,6 +502,8 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	m.stats.MetaInsightUnits += c.delta.metaInsightUnits
 	m.stats.PatternsFound += c.delta.patternsFound
 	m.stats.Pruned1 += c.delta.pruned1
+	m.stats.ShortSeriesSkips += c.delta.shortSeriesSkips
+	m.stats.ExtractErrors += c.delta.extractErrors
 	if o != nil {
 		o.Count("miner.units.expand", c.delta.expandUnits)
 		o.Count("miner.units.datapattern", c.delta.dataPatternUnits)
@@ -562,8 +604,22 @@ func (m *Miner) finish() *Result {
 	m.stats.CacheServed = meter.ServedQueries()
 	m.stats.CostUsed = meter.Cost()
 	m.stats.PrefetchFailures = m.acct.prefetchFailures
+	m.stats.FailedUnits = m.acct.failedUnits
+	m.stats.Retries = m.acct.retries
+	m.stats.BreakerTrips = m.acct.breakerTrips
+	m.stats.Evictions = m.acct.evictions
 	m.stats.QueryCacheStats = m.acct.queryStats()
 	m.stats.PatternCacheStats = m.acct.patternStats()
+	var runErr error
+	if m.stats.FailedUnits > 0 {
+		attempted := m.stats.ExecutedQueries + m.stats.CacheServed + m.stats.FailedUnits
+		rate := float64(m.stats.FailedUnits) / float64(attempted)
+		if rate > m.cfg.DegradedThreshold {
+			runErr = fmt.Errorf("%w: %d of %d queries failed (%.1f%% > %.1f%%)",
+				ErrDegraded, m.stats.FailedUnits, attempted,
+				100*rate, 100*m.cfg.DegradedThreshold)
+		}
+	}
 	if o := m.cfg.Observer; o != nil {
 		// End-of-run gauges carry the canonical (worker-count-invariant)
 		// accounting; the live counters above track progressive commit-side
@@ -573,13 +629,17 @@ func (m *Miner) finish() *Result {
 		o.SetGauge("miner.queries.augmented", float64(m.stats.AugmentedQueries))
 		o.SetGauge("miner.queries.cache_served", float64(m.stats.CacheServed))
 		o.SetGauge("miner.prefetch.failures", float64(m.stats.PrefetchFailures))
+		o.SetGauge("miner.queries.failed", float64(m.stats.FailedUnits))
+		o.SetGauge("miner.queries.retries", float64(m.stats.Retries))
+		o.SetGauge("miner.breaker.trips", float64(m.stats.BreakerTrips))
+		o.SetGauge("miner.cache.evictions", float64(m.stats.Evictions))
 		o.SetGauge("miner.qcache.hit_rate", m.stats.QueryCacheStats.HitRate())
 		o.SetGauge("miner.qcache.entries", float64(m.stats.QueryCacheStats.Entries))
 		o.SetGauge("miner.qcache.bytes", float64(m.stats.QueryCacheStats.Bytes))
 		o.SetGauge("miner.pcache.hit_rate", m.stats.PatternCacheStats.HitRate())
 		o.SetGauge("miner.pcache.entries", float64(m.stats.PatternCacheStats.Entries))
 	}
-	return &Result{MetaInsights: out, Stats: m.stats}
+	return &Result{MetaInsights: out, Stats: m.stats, Err: runErr}
 }
 
 // process executes one compute unit speculatively: pure data work plus a
@@ -651,6 +711,10 @@ func (m *Miner) processExpand(u *workUnit, rec *recorder) []*workUnit {
 		}
 		unit, err := m.eng.MaterializeUnit(u.subspace, dim.Name)
 		if err != nil {
+			// Skipped-but-accounted: the child subspaces behind this group-by
+			// are not explored, but the failed query is charged canonically.
+			rec.recordUnitFail(cache.UnitKey{Subspace: u.subspace.Key(), Breakdown: dim.Name},
+				m.eng.ScanCost(u.subspace))
 			continue
 		}
 		rec.recordUnit(unit, m.eng.ScanCost(u.subspace))
@@ -703,6 +767,8 @@ func (m *Miner) processDataPattern(u *workUnit, rec *recorder, delta *statDelta)
 	// unit spans all measures, Figure 5).
 	unit, err := m.eng.MaterializeUnit(u.subspace, u.breakdown)
 	if err != nil {
+		rec.recordUnitFail(cache.UnitKey{Subspace: u.subspace.Key(), Breakdown: u.breakdown},
+			m.eng.ScanCost(u.subspace))
 		return nil
 	}
 	rec.recordUnit(unit, m.eng.ScanCost(u.subspace))
@@ -710,7 +776,14 @@ func (m *Miner) processDataPattern(u *workUnit, rec *recorder, delta *statDelta)
 	for _, meas := range m.eng.Measures() {
 		ds := model.DataScope{Subspace: u.subspace, Breakdown: u.breakdown, Measure: meas}
 		series, err := engine.Extract(unit, ds)
-		if err != nil || series.Len() < 3 {
+		if err != nil {
+			// Structural extraction failure (e.g. unknown measure column) —
+			// counted separately from ordinary data sparsity.
+			delta.extractErrors++
+			continue
+		}
+		if series.Len() < 3 {
+			delta.shortSeriesSkips++
 			continue
 		}
 		se := m.evaluateScope(rec, ds, series, temporal)
@@ -727,10 +800,14 @@ func (m *Miner) processDataPattern(u *workUnit, rec *recorder, delta *statDelta)
 // accounting. Concurrent evaluations of the same scope single-flight.
 func (m *Miner) evaluateScope(rec *recorder, ds model.DataScope, series *engine.Series, temporal bool) *pattern.ScopeEvaluation {
 	key := ds.Key()
-	rec.recordEval(key)
-	return m.pcache.Materialize(key, func() *pattern.ScopeEvaluation {
+	se := m.pcache.Materialize(key, func() *pattern.ScopeEvaluation {
 		return pattern.EvaluateAllScoped(ds, series.Keys, series.Values, temporal, m.cfg.Pattern)
 	})
+	// Recorded after materialization so a byte-bounded pattern cache can
+	// carry the evaluation's size into the commit-order eviction simulation
+	// (SizeOf is 0 — and unused — when the cache is unbounded).
+	rec.recordEval(key, m.pcache.SizeOf(key, se))
+	return se
 }
 
 // emitMetaInsightUnits applies the three extension strategies to a
@@ -766,11 +843,13 @@ func (m *Miner) emitMetaInsightUnits(rec *recorder, ds model.DataScope, t patter
 		// Impact_HDS = Impact(subspace without the extended filter), by
 		// additivity of the impact measure over the sibling group.
 		rootImpact, probe, err := m.eng.ImpactUnmetered(hds.RootSubspace())
+		if probe != nil {
+			// Recorded even on failure: the replay recomputes the fallback
+			// scan's fate from its fingerprint and charges the failed attempts.
+			rec.recordImpact(probe)
+		}
 		if err != nil {
 			continue
-		}
-		if probe != nil {
-			rec.recordImpact(probe)
 		}
 		emit(hds, rootImpact)
 	}
@@ -824,12 +903,21 @@ func (m *Miner) processMetaInsight(u *workUnit, rec *recorder, delta *statDelta)
 		}
 		unit, err := m.eng.MaterializeUnit(scope.Subspace, scope.Breakdown)
 		if err != nil {
+			// Failed sibling query: the scope drops out of the HDP (best
+			// effort) and the failure is charged canonically at commit.
+			rec.recordUnitFail(cache.UnitKey{Subspace: scope.Subspace.Key(), Breakdown: scope.Breakdown},
+				m.eng.ScanCost(scope.Subspace))
 			continue
 		}
 		rec.recordUnit(unit, m.eng.ScanCost(scope.Subspace))
 		series, err := engine.Extract(unit, scope)
-		if err != nil || series.Len() < 3 {
+		if err != nil {
+			delta.extractErrors++
+			continue
+		}
+		if series.Len() < 3 {
 			// Empty or degenerate sibling: not part of the HDP.
+			delta.shortSeriesSkips++
 			continue
 		}
 		temporal := tab.Dimension(scope.Breakdown).Kind == model.KindTemporal
@@ -875,16 +963,27 @@ func (m *Miner) processMetaInsight(u *workUnit, rec *recorder, delta *statDelta)
 func (m *Miner) prefetchSiblings(u *workUnit, rec *recorder) {
 	qc := m.eng.QueryCache()
 	scopes := make([]cache.UnitKey, len(u.hds.Scopes))
-	allCached := true
+	// Under a byte-bounded physical cache the peek shortcut below would
+	// record a sibling list shaped by timing-dependent physical evictions
+	// (an entry can vanish between the check and the reconstruction), so the
+	// recorded usage would vary with worker interleaving. Recording must be
+	// pure: always take the scan path, whose sibling list is a function of
+	// the data alone. The extra physical scans are the normal price of a
+	// bounded cache; the canonical accounting is unaffected.
+	allCached := qc.MaxBytes() == 0
 	for i, scope := range u.hds.Scopes {
 		scopes[i] = cache.UnitKey{Subspace: scope.Subspace.Key(), Breakdown: scope.Breakdown}
-		if _, ok := qc.Peek(scopes[i].Subspace, scopes[i].Breakdown); !ok {
-			allCached = false
+		if allCached {
+			if _, ok := qc.Peek(scopes[i].Subspace, scopes[i].Breakdown); !ok {
+				allCached = false
+			}
 		}
 	}
+	base := u.hds.Anchor.Subspace.Without(u.hds.ExtDim)
 	use := &siblingUse{
 		scopes: scopes,
-		cost:   m.eng.ScanCost(u.hds.Anchor.Subspace.Without(u.hds.ExtDim)),
+		fp:     engine.AugmentedFingerprint(base.Key(), u.hds.Anchor.Breakdown, u.hds.ExtDim),
+		cost:   m.eng.ScanCost(base),
 	}
 	if allCached {
 		// Physically nothing to fetch; reconstruct the scan's sibling list
@@ -903,5 +1002,15 @@ func (m *Miner) prefetchSiblings(u *workUnit, rec *recorder) {
 			use.siblings = append(use.siblings, unitUse{key: unit.Key, bytes: unit.ApproxBytes()})
 		}
 	}
+	// The scan returns a map; the replay stores siblings in recorded order,
+	// which a byte-bounded simulated cache observes through its FIFO eviction
+	// queue. Sort so the recorded order is a pure function of the keys.
+	sort.Slice(use.siblings, func(i, j int) bool {
+		a, b := use.siblings[i].key, use.siblings[j].key
+		if a.Subspace != b.Subspace {
+			return a.Subspace < b.Subspace
+		}
+		return a.Breakdown < b.Breakdown
+	})
 	rec.recordSiblings(use)
 }

@@ -22,6 +22,17 @@ func (s Stats) String() string {
 	if s.PrefetchFailures > 0 {
 		fmt.Fprintf(&b, " prefetch-failures=%d", s.PrefetchFailures)
 	}
+	if s.FailedUnits > 0 || s.Retries > 0 || s.BreakerTrips > 0 {
+		fmt.Fprintf(&b, " faults[failed=%d retries=%d breaker-trips=%d]",
+			s.FailedUnits, s.Retries, s.BreakerTrips)
+	}
+	if s.Evictions > 0 {
+		fmt.Fprintf(&b, " evictions=%d", s.Evictions)
+	}
+	if s.ShortSeriesSkips > 0 || s.ExtractErrors > 0 {
+		fmt.Fprintf(&b, " skips[short-series=%d extract-errors=%d]",
+			s.ShortSeriesSkips, s.ExtractErrors)
+	}
 	if s.Cancelled {
 		b.WriteString(" cancelled")
 	}
@@ -58,6 +69,12 @@ type statsJSON struct {
 	Pruned1          int64          `json:"pruned_1"`
 	Pruned2          int64          `json:"pruned_2"`
 	PrefetchFailures int64          `json:"prefetch_failures"`
+	FailedUnits      int64          `json:"failed_units"`
+	Retries          int64          `json:"retries"`
+	BreakerTrips     int64          `json:"breaker_trips"`
+	Evictions        int64          `json:"evictions"`
+	ShortSeriesSkips int64          `json:"short_series_skips"`
+	ExtractErrors    int64          `json:"extract_errors"`
 	ExecutedQueries  int64          `json:"executed_queries"`
 	AugmentedQueries int64          `json:"augmented_queries"`
 	CacheServed      int64          `json:"cache_served"`
@@ -80,6 +97,12 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		Pruned1:          s.Pruned1,
 		Pruned2:          s.Pruned2,
 		PrefetchFailures: s.PrefetchFailures,
+		FailedUnits:      s.FailedUnits,
+		Retries:          s.Retries,
+		BreakerTrips:     s.BreakerTrips,
+		Evictions:        s.Evictions,
+		ShortSeriesSkips: s.ShortSeriesSkips,
+		ExtractErrors:    s.ExtractErrors,
 		ExecutedQueries:  s.ExecutedQueries,
 		AugmentedQueries: s.AugmentedQueries,
 		CacheServed:      s.CacheServed,
@@ -105,6 +128,12 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		Pruned1:          j.Pruned1,
 		Pruned2:          j.Pruned2,
 		PrefetchFailures: j.PrefetchFailures,
+		FailedUnits:      j.FailedUnits,
+		Retries:          j.Retries,
+		BreakerTrips:     j.BreakerTrips,
+		Evictions:        j.Evictions,
+		ShortSeriesSkips: j.ShortSeriesSkips,
+		ExtractErrors:    j.ExtractErrors,
 		ExecutedQueries:  j.ExecutedQueries,
 		AugmentedQueries: j.AugmentedQueries,
 		CacheServed:      j.CacheServed,

@@ -45,6 +45,7 @@ import (
 	"metainsight/internal/core"
 	"metainsight/internal/dataset"
 	"metainsight/internal/engine"
+	"metainsight/internal/faults"
 	"metainsight/internal/miner"
 	"metainsight/internal/model"
 	"metainsight/internal/obs"
@@ -102,7 +103,51 @@ type (
 	// TraceEvent is one structured run-trace event (pop, query execution,
 	// cache hit/miss, pattern evaluation, prune, dedup, store, budget stop).
 	TraceEvent = obs.Event
+	// Substrate is the physical scan layer behind the query engine. The
+	// default is the in-process columnar scan; swap it with WithSubstrate to
+	// back analyses by a different executor.
+	Substrate = engine.Substrate
+	// FaultPolicy configures deterministic fault injection: seeded, fingerprint-
+	// keyed transient/permanent failures and simulated latency, for resilience
+	// testing without giving up reproducibility. Attach with WithFaultPolicy.
+	FaultPolicy = faults.Policy
+	// RetryPolicy configures the retry/backoff/deadline/circuit-breaker
+	// behavior of the fault-tolerant query substrate. Attach with
+	// WithRetryPolicy.
+	RetryPolicy = faults.RetryPolicy
+	// LoadStats counts what CSV ingestion kept and dropped
+	// (Dataset.LoadStats).
+	LoadStats = dataset.LoadStats
+	// RowPolicy selects how ingestion treats a defective row (RowError or
+	// RowSkip).
+	RowPolicy = dataset.RowPolicy
 )
+
+// Row-policy constants for WithRaggedRows / WithBadMeasures.
+const (
+	// RowError rejects the whole load on the first defective row (default).
+	RowError = dataset.RowError
+	// RowSkip drops defective rows and counts them in Dataset.LoadStats.
+	RowSkip = dataset.RowSkip
+)
+
+// ErrDegraded marks a best-effort mining result whose query failure rate
+// exceeded the degradation threshold; test with errors.Is on
+// MiningResult.Err or the error returned by Analyze.
+var ErrDegraded = miner.ErrDegraded
+
+// ErrQueryFailed is the sentinel wrapped by every permanently failed query
+// (injected faults, exhausted retries, deadline overruns).
+var ErrQueryFailed = faults.ErrQueryFailed
+
+// ParseFaultSpec parses a "key=value,key=value" fault specification (the
+// CLI's -faults flag) into a fault policy and retry policy. Keys: seed,
+// transient, permanent, latency-rate, latency, attempts, backoff,
+// backoff-factor, max-backoff, jitter, deadline, breaker. An empty spec
+// returns zero policies.
+func ParseFaultSpec(spec string) (FaultPolicy, RetryPolicy, error) {
+	return faults.ParseSpec(spec)
+}
 
 // NewObserver creates an observability collector to attach via WithObserver.
 // A zero ObserverOptions records metrics and phase timers only; set
@@ -194,6 +239,20 @@ func WithMaxDimensionCardinality(n int) LoadOption {
 	return func(o *dataset.LoadOptions) { o.MaxDimensionCardinality = n }
 }
 
+// WithRaggedRows selects the treatment of rows whose column count differs
+// from the header's: RowError (default) rejects the load, RowSkip drops and
+// counts them (Dataset.LoadStats).
+func WithRaggedRows(p RowPolicy) LoadOption {
+	return func(o *dataset.LoadOptions) { o.RaggedRows = p }
+}
+
+// WithBadMeasures selects the treatment of rows carrying a NaN, ±Inf or
+// unparseable measure cell: RowError (default) rejects the load, RowSkip
+// drops and counts them (Dataset.LoadStats).
+func WithBadMeasures(p RowPolicy) LoadOption {
+	return func(o *dataset.LoadOptions) { o.BadMeasures = p }
+}
+
 // Analyzer runs MetaInsight mining and ranking over one dataset.
 type Analyzer struct {
 	eng        *engine.Engine
@@ -219,6 +278,12 @@ type analyzerOptions struct {
 	disablePC      bool
 	weights        ranker.Weights
 	observer       *obs.Observer
+	substrate      Substrate
+	faultPolicy    FaultPolicy
+	retryPolicy    RetryPolicy
+	retrySet       bool
+	qcBytes        int64
+	pcBytes        int64
 }
 
 // WithMeasures sets the measure set M (default: SUM over every measure
@@ -328,6 +393,47 @@ func WithRankingWeights(w ranker.Weights) Option {
 	return func(o *analyzerOptions) { o.weights = w }
 }
 
+// WithSubstrate replaces the physical scan layer behind the query engine
+// (default: the in-process columnar substrate over the dataset). Real errors
+// returned by a custom substrate are retried per the retry policy and, if
+// permanent, skipped-but-accounted (Stats.FailedUnits).
+func WithSubstrate(s Substrate) Option {
+	return func(o *analyzerOptions) { o.substrate = s }
+}
+
+// WithFaultPolicy enables deterministic fault injection on every scan path:
+// seeded transient/permanent failures and simulated latency, keyed by each
+// query's canonical fingerprint (never wall-clock or shared RNG), so a faulty
+// run is exactly as reproducible — including across worker counts — as a
+// clean one. A zero policy injects nothing.
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(o *analyzerOptions) { o.faultPolicy = p }
+}
+
+// WithRetryPolicy configures retries with capped exponential backoff and
+// deterministic jitter, per-query cost deadlines, and the consecutive-failure
+// circuit breaker. Zero-value fields take the defaults
+// (RetryPolicy.WithDefaults). Only meaningful together with WithFaultPolicy
+// or a failure-capable WithSubstrate.
+func WithRetryPolicy(r RetryPolicy) Option {
+	return func(o *analyzerOptions) { o.retryPolicy = r; o.retrySet = true }
+}
+
+// WithCacheBytes bounds the query and pattern caches to the given byte
+// budgets (0 = unbounded). Bounded caches evict oldest-first; the miner's
+// canonical commit-order simulation makes the reported Stats.Evictions — and
+// everything downstream — deterministic at any worker count.
+func WithCacheBytes(queryBytes, patternBytes int64) Option {
+	return func(o *analyzerOptions) { o.qcBytes = queryBytes; o.pcBytes = patternBytes }
+}
+
+// WithDegradedThreshold sets the query failure rate above which a run is
+// flagged degraded (MiningResult.Err wraps ErrDegraded; default 0.1). Set
+// negative to flag any failure, or >= 1 to never flag.
+func WithDegradedThreshold(f float64) Option {
+	return func(o *analyzerOptions) { o.minerCfg.DegradedThreshold = f }
+}
+
 // ErrConflictingBudgets is returned by NewAnalyzer when both WithTimeBudget
 // and WithCostBudget are supplied. The two budgets have incompatible
 // semantics — cost budgets are deterministic and reproducible, time budgets
@@ -348,13 +454,31 @@ func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 	if o.timeBudget > 0 && o.costBudget > 0 {
 		return nil, ErrConflictingBudgets
 	}
+	if err := o.faultPolicy.Validate(); err != nil {
+		return nil, err
+	}
+	var retry faults.RetryPolicy
+	if o.retrySet {
+		retry = o.retryPolicy
+		if retry == (faults.RetryPolicy{}) {
+			// All-zero from an explicit WithRetryPolicy still means "use the
+			// defaults", which NewInjector would otherwise read as absent.
+			retry = retry.WithDefaults()
+		}
+	}
+	qc := cache.NewQueryCache(!o.disableQC)
+	if o.qcBytes > 0 {
+		qc.SetMaxBytes(o.qcBytes)
+	}
 	meter := &engine.Meter{}
 	eng, err := engine.New(d, engine.Config{
 		Measures:      o.measures,
 		ImpactMeasure: o.impact,
-		QueryCache:    cache.NewQueryCache(!o.disableQC),
+		QueryCache:    qc,
 		Meter:         meter,
 		Observer:      o.observer,
+		Substrate:     o.substrate,
+		Faults:        faults.NewInjector(o.faultPolicy, retry),
 	})
 	if err != nil {
 		return nil, err
@@ -373,6 +497,11 @@ func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 	// persists across Mine calls like the query cache, and so Snapshot can
 	// report its stats.
 	cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](!o.disablePC)
+	if o.pcBytes > 0 {
+		cfg.PatternCache.SetMaxBytes(o.pcBytes, func(key string, se *pattern.ScopeEvaluation) int64 {
+			return int64(len(key)) + se.ApproxBytes()
+		})
+	}
 	cfg.Observer = o.observer
 	if o.costBudget > 0 {
 		cfg.Budget = engine.CostBudget{Meter: meter, Limit: o.costBudget}
@@ -466,13 +595,17 @@ func Analyze(d *Dataset, k int, opts ...Option) ([]*Insight, error) {
 
 // AnalyzeContext is Analyze with cancellation; see MineContext for the
 // cancellation contract. A cancelled run still ranks and returns whatever
-// was mined before the cancellation point.
+// was mined before the cancellation point. Under an active fault policy the
+// returned error may wrap ErrDegraded — the insights are still valid
+// best-effort output, so check errors.Is(err, ErrDegraded) before discarding
+// them.
 func AnalyzeContext(ctx context.Context, d *Dataset, k int, opts ...Option) ([]*Insight, error) {
 	a, err := NewAnalyzer(d, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return a.Rank(a.MineContext(ctx), k), nil
+	result := a.MineContext(ctx)
+	return a.Rank(result, k), result.Err
 }
 
 // correlationEvaluator builds the scope-aware evaluator behind
