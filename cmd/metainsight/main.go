@@ -5,10 +5,20 @@
 //
 //	metainsight -csv data.csv [-k 10] [-budget 10s] [-tau 0.5] [-workers 8]
 //	            [-flat] [-max-card 50] [-trace run.jsonl] [-metrics]
+//	            [-checkpoint dir [-checkpoint-every 256] [-resume]]
+//
+// Exit codes:
+//
+//	0  the run completed normally
+//	1  the run failed (bad usage, unreadable input, checkpoint error)
+//	2  the run completed degraded: the printed insights are valid
+//	   best-effort output, but the query failure rate exceeded the
+//	   degradation threshold
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,32 +27,52 @@ import (
 	"metainsight"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("metainsight", flag.ContinueOnError)
 	var (
-		csvPath = flag.String("csv", "", "path to the CSV file to analyze (required)")
-		k       = flag.Int("k", 10, "number of MetaInsights to suggest")
-		budget  = flag.Duration("budget", 15*time.Second, "mining time budget (0 = unlimited)")
-		tau     = flag.Float64("tau", 0.5, "commonness threshold τ")
-		workers = flag.Int("workers", 8, "evaluation worker goroutines")
-		depth   = flag.Int("depth", 3, "maximum subspace filters")
-		maxCard = flag.Int("max-card", 100, "drop categorical columns with more distinct values")
-		flat    = flag.Bool("flat", false, "also print each insight's flat-list representation")
-		asJSON  = flag.Bool("json", false, "emit the suggested insights as a JSON array")
-		derive  = flag.String("derive", "", "derive Year/Quarter/Month/Weekday columns from this date column before mining")
-		report  = flag.String("report", "", "write a markdown EDA report to this file")
-		trace   = flag.String("trace", "", "write the structured run trace (JSONL, commit order) to this file")
-		metrics = flag.Bool("metrics", false, "print the metrics snapshot (counters, gauges, phase timers) after the run")
-		faultsS = flag.String("faults", "", "deterministic fault-injection spec, e.g. \"seed=7,transient=0.05,attempts=4,breaker=5\" (keys: seed, transient, permanent, latency-rate, latency, attempts, backoff, backoff-factor, max-backoff, jitter, deadline, breaker)")
-		qcBytes = flag.Int64("cache-bytes", 0, "query-cache byte budget with oldest-first eviction (0 = unbounded)")
-		pcBytes = flag.Int64("pattern-cache-bytes", 0, "pattern-cache byte budget (0 = unbounded)")
-		ragged  = flag.Bool("skip-ragged", false, "skip-and-count rows whose column count differs from the header instead of failing")
-		badMeas = flag.Bool("skip-bad-measures", false, "skip-and-count rows with NaN/Inf/unparseable measure cells instead of failing")
+		csvPath = fs.String("csv", "", "path to the CSV file to analyze (required)")
+		k       = fs.Int("k", 10, "number of MetaInsights to suggest")
+		budget  = fs.Duration("budget", 15*time.Second, "mining time budget (0 = unlimited)")
+		tau     = fs.Float64("tau", 0.5, "commonness threshold τ")
+		workers = fs.Int("workers", 8, "evaluation worker goroutines")
+		depth   = fs.Int("depth", 3, "maximum subspace filters")
+		maxCard = fs.Int("max-card", 100, "drop categorical columns with more distinct values")
+		flat    = fs.Bool("flat", false, "also print each insight's flat-list representation")
+		asJSON  = fs.Bool("json", false, "emit the suggested insights as a JSON array")
+		derive  = fs.String("derive", "", "derive Year/Quarter/Month/Weekday columns from this date column before mining")
+		report  = fs.String("report", "", "write a markdown EDA report to this file")
+		trace   = fs.String("trace", "", "write the structured run trace (JSONL, commit order) to this file")
+		metrics = fs.Bool("metrics", false, "print the metrics snapshot (counters, gauges, phase timers) after the run")
+		faultsS = fs.String("faults", "", "deterministic fault-injection spec, e.g. \"seed=7,transient=0.05,attempts=4,breaker=5\" (keys: seed, transient, permanent, latency-rate, latency, attempts, backoff, backoff-factor, max-backoff, jitter, deadline, breaker)")
+		qcBytes = fs.Int64("cache-bytes", 0, "query-cache byte budget with oldest-first eviction (0 = unbounded)")
+		pcBytes = fs.Int64("pattern-cache-bytes", 0, "pattern-cache byte budget (0 = unbounded)")
+		ragged  = fs.Bool("skip-ragged", false, "skip-and-count rows whose column count differs from the header instead of failing")
+		badMeas = fs.Bool("skip-bad-measures", false, "skip-and-count rows with NaN/Inf/unparseable measure cells instead of failing")
+		ckDir   = fs.String("checkpoint", "", "crash-safe mining: journal every commit and snapshot periodically into this directory")
+		ckEvery = fs.Int64("checkpoint-every", 256, "commits between checkpoint snapshots (with -checkpoint)")
+		resume  = fs.Bool("resume", false, "resume the run recorded in -checkpoint instead of starting fresh")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: metainsight -csv data.csv [flags]")
+		fmt.Fprintln(fs.Output(), "exit codes: 0 completed, 1 failed, 2 completed degraded (best-effort output)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		// ContinueOnError already printed the error (and usage for -h).
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 1
+	}
 	if *csvPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: metainsight -csv data.csv [flags]")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fs.Usage()
+		return 1
+	}
+	if *resume && *ckDir == "" {
+		fmt.Fprintln(os.Stderr, "metainsight: -resume requires -checkpoint")
+		return 1
 	}
 
 	loadOpts := []metainsight.LoadOption{
@@ -57,7 +87,7 @@ func main() {
 	tab, err := metainsight.OpenCSV(*csvPath, loadOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metainsight:", err)
-		os.Exit(1)
+		return 1
 	}
 	if ls := tab.LoadStats(); ls.RaggedSkipped > 0 || ls.BadMeasureSkipped > 0 {
 		fmt.Fprintf(os.Stderr, "metainsight: skipped %d ragged and %d bad-measure rows (%d loaded)\n",
@@ -67,7 +97,7 @@ func main() {
 		tab, err = metainsight.DeriveTemporal(tab, *derive)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metainsight:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Printf("dataset %q: %d rows × %d cols (%d cells)\n",
@@ -88,7 +118,7 @@ func main() {
 		policy, retry, err := metainsight.ParseFaultSpec(*faultsS)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metainsight:", err)
-			os.Exit(2)
+			return 1
 		}
 		opts = append(opts,
 			metainsight.WithFaultPolicy(policy),
@@ -96,6 +126,13 @@ func main() {
 	}
 	if *qcBytes > 0 || *pcBytes > 0 {
 		opts = append(opts, metainsight.WithCacheBytes(*qcBytes, *pcBytes))
+	}
+	if *ckDir != "" {
+		if *resume {
+			opts = append(opts, metainsight.ResumeFromCheckpoint(*ckDir))
+		} else {
+			opts = append(opts, metainsight.WithCheckpoint(*ckDir, *ckEvery))
+		}
 	}
 	var ob *metainsight.Observer
 	if *trace != "" || *metrics {
@@ -109,32 +146,40 @@ func main() {
 	a, err := metainsight.NewAnalyzer(tab, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metainsight:", err)
-		os.Exit(1)
+		return 1
 	}
 	start := time.Now()
 	result := a.Mine()
+	degraded := false
 	if result.Err != nil {
-		fmt.Fprintln(os.Stderr, "metainsight: warning:", result.Err)
+		if !errors.Is(result.Err, metainsight.ErrDegraded) {
+			// A hard failure (checkpoint I/O, resume mismatch, replay
+			// divergence): nothing below is trustworthy.
+			fmt.Fprintln(os.Stderr, "metainsight:", result.Err)
+			return 1
+		}
+		degraded = true
 	}
 	top := a.Rank(result, *k)
 
 	// observability epilogue: trace file, metrics snapshot, stats one-liner.
 	// In JSON mode the extras go to stderr so stdout stays parseable.
-	epilogue := func(w *os.File) {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "metainsight:", err)
+		return 1
+	}
+	epilogue := func(w *os.File) int {
 		if *trace != "" {
 			f, err := os.Create(*trace)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "metainsight:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 			if err := ob.Trace().WriteJSONL(f); err != nil {
 				f.Close()
-				fmt.Fprintln(os.Stderr, "metainsight:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "metainsight:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 			fmt.Fprintf(w, "\ntrace: %d events written to %s (%d dropped by ring)\n",
 				ob.Trace().Len(), *trace, ob.Trace().Dropped())
@@ -143,17 +188,21 @@ func main() {
 			fmt.Fprintf(w, "\n%s\n", a.Snapshot().Text())
 		}
 		fmt.Fprintf(w, "\nstats: %s\n", result.Stats)
+		if degraded {
+			fmt.Fprintln(os.Stderr,
+				"metainsight: degraded run: query failure rate exceeded the threshold; output is best-effort (exit 2)")
+			return 2
+		}
+		return 0
 	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(top); err != nil {
-			fmt.Fprintln(os.Stderr, "metainsight:", err)
-			os.Exit(1)
+			return fail(err)
 		}
-		epilogue(os.Stderr)
-		return
+		return epilogue(os.Stderr)
 	}
 
 	fmt.Printf("\nmined %d MetaInsight candidates in %v (%d queries executed, %d cache-served)\n\n",
@@ -172,20 +221,17 @@ func main() {
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metainsight:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		if err := a.WriteReport(f, top, tab.Name()); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "metainsight:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "metainsight:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 		fmt.Printf("\nreport written to %s\n", *report)
 	}
 
-	epilogue(os.Stdout)
+	return epilogue(os.Stdout)
 }

@@ -21,13 +21,21 @@ type Flight[K comparable, V any] struct {
 }
 
 type flightCall[V any] struct {
-	done chan struct{}
-	val  V
+	done     chan struct{}
+	val      V
+	panicked bool
+	panicVal any
 }
 
 // Do returns fn()'s value for key, executing fn at most once across
 // concurrent callers. The boolean reports whether this caller was the leader
 // (executed fn) rather than a follower (waited for the leader's result).
+//
+// If fn panics, the panic propagates to the leader *and* to every follower
+// (each re-panics with the leader's panic value), and the key is forgotten —
+// a follower blocked on a panicking leader must not deadlock, and the
+// miner's per-worker recover relies on every worker observing the same
+// deterministic panic for the same unit.
 func (f *Flight[K, V]) Do(key K, fn func() V) (V, bool) {
 	f.mu.Lock()
 	if f.calls == nil {
@@ -36,17 +44,27 @@ func (f *Flight[K, V]) Do(key K, fn func() V) (V, bool) {
 	if c, ok := f.calls[key]; ok {
 		f.mu.Unlock()
 		<-c.done
+		if c.panicked {
+			panic(c.panicVal)
+		}
 		return c.val, false
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.calls[key] = c
 	f.mu.Unlock()
 
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicked, c.panicVal = true, r
+		}
+		close(c.done)
+		f.mu.Lock()
+		delete(f.calls, key)
+		f.mu.Unlock()
+		if c.panicked {
+			panic(c.panicVal)
+		}
+	}()
 	c.val = fn()
-	close(c.done)
-
-	f.mu.Lock()
-	delete(f.calls, key)
-	f.mu.Unlock()
 	return c.val, true
 }

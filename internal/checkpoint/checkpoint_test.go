@@ -1,0 +1,359 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testMeta() Meta { return Meta{Fingerprint: "fp-test", Every: 4} }
+
+func mustAppend(t *testing.T, st *Store, idx int64, payload string) {
+	t.Helper()
+	if err := st.Append(Record{Index: idx, Payload: json.RawMessage(payload)}); err != nil {
+		t.Fatalf("Append(%d): %v", idx, err)
+	}
+}
+
+func readJournal(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCreateAppendLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		mustAppend(t, st, i, fmt.Sprintf(`{"n":%d}`, i))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Store.Close()
+	if res.Snapshot != nil {
+		t.Fatalf("unexpected snapshot before any WriteSnapshot")
+	}
+	if res.Meta != testMeta() {
+		t.Fatalf("meta round-trip: got %+v", res.Meta)
+	}
+	if len(res.Tail) != 3 {
+		t.Fatalf("tail length: got %d, want 3", len(res.Tail))
+	}
+	for i, rec := range res.Tail {
+		if rec.Index != int64(i+1) {
+			t.Fatalf("record %d: index %d", i, rec.Index)
+		}
+		if want := fmt.Sprintf(`{"n":%d}`, i+1); string(rec.Payload) != want {
+			t.Fatalf("record %d payload: %s", i, rec.Payload)
+		}
+	}
+}
+
+func TestSnapshotResetsJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		mustAppend(t, st, i, `{}`)
+	}
+	if err := st.WriteSnapshot(4, json.RawMessage(`{"state":"s4"}`)); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, 5, `{"n":5}`)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Store.Close()
+	if res.Snapshot == nil || res.Snapshot.Index != 4 {
+		t.Fatalf("snapshot: %+v", res.Snapshot)
+	}
+	if string(res.Snapshot.Payload) != `{"state":"s4"}` {
+		t.Fatalf("snapshot payload: %s", res.Snapshot.Payload)
+	}
+	if len(res.Tail) != 1 || res.Tail[0].Index != 5 {
+		t.Fatalf("tail after snapshot: %+v", res.Tail)
+	}
+}
+
+func TestTornTailAccepted(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, 1, `{"n":1}`)
+	mustAppend(t, st, 2, `{"n":2}`)
+	st.Close()
+
+	// Chop bytes off the final record: every truncation point inside it must
+	// still load, yielding only the first record.
+	full := readJournal(t, dir)
+	info, err := DecodeJournal(full)
+	if err != nil || len(info.Records) != 2 {
+		t.Fatalf("full decode: %v, %d records", err, len(info.Records))
+	}
+	for cut := len(full) - 1; cut > int(offsetOfLastRecord(t, full)); cut-- {
+		got, err := DecodeJournal(full[:cut])
+		if err != nil {
+			t.Fatalf("torn at %d rejected: %v", cut, err)
+		}
+		if len(got.Records) != 1 || got.Records[0].Index != 1 {
+			t.Fatalf("torn at %d: %d records", cut, len(got.Records))
+		}
+	}
+
+	// A Load over a torn file truncates and resumes appending cleanly.
+	if err := os.WriteFile(filepath.Join(dir, journalFile), full[:len(full)-3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tail) != 1 {
+		t.Fatalf("tail after torn load: %d records", len(res.Tail))
+	}
+	mustAppend(t, res.Store, 2, `{"n":2,"again":true}`)
+	res.Store.Close()
+	res2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Store.Close()
+	if len(res2.Tail) != 2 || string(res2.Tail[1].Payload) != `{"n":2,"again":true}` {
+		t.Fatalf("append after torn truncation: %+v", res2.Tail)
+	}
+}
+
+// offsetOfLastRecord finds the byte offset where the final record frame
+// begins, by re-walking the frames.
+func offsetOfLastRecord(t *testing.T, data []byte) int64 {
+	t.Helper()
+	off := preambleLen
+	last := off
+	for off < len(data) {
+		_, n, err := readFrame(data, off)
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		last = off
+		off += n
+	}
+	return int64(last)
+}
+
+func TestFlippedCRCRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, 1, `{"n":1}`)
+	st.Close()
+
+	data := readJournal(t, dir)
+	// Flip a byte inside the record payload (last byte of the file) without
+	// shortening the frame: complete frame, bad CRC.
+	data[len(data)-1] ^= 0xff
+	if _, err := DecodeJournal(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload byte: got %v, want ErrCorrupt", err)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, journalFile), data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load over corrupt journal: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(1, json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	for _, name := range []string{snapshotFile, journalFile} {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bumped := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(bumped[4:8], version+1)
+		if err := os.WriteFile(path, bumped, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); !errors.Is(err, ErrVersion) {
+			t.Fatalf("%s with bumped version: got %v, want ErrVersion", name, err)
+		}
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("NOPE0000garbage")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("snapshot bad magic: %v", err)
+	}
+	if _, err := DecodeJournal([]byte("NOPE0000garbage")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("journal bad magic: %v", err)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := Create(dir, testMeta()); !errors.Is(err, ErrExists) {
+		t.Fatalf("second Create: got %v, want ErrExists", err)
+	}
+}
+
+func TestLoadEmptyDirIsNoCheckpoint(t *testing.T) {
+	if _, err := Load(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestNonContiguousIndicesRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, st, 1, `{}`)
+	mustAppend(t, st, 3, `{}`) // gap
+	st.Close()
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("index gap: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCrashBetweenSnapshotAndJournalReset(t *testing.T) {
+	// Simulate: snapshot at index 4 renamed into place, but the journal still
+	// holds records 1..4 from before (base 0). Load must discard them and
+	// rebase the journal at 4.
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		mustAppend(t, st, i, `{}`)
+	}
+	st.Close()
+	oldJournal := readJournal(t, dir)
+
+	st2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Store.WriteSnapshot(4, json.RawMessage(`{"s":4}`)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Store.Close()
+	// Put the pre-snapshot journal back, as if the reset rename never landed.
+	if err := os.WriteFile(filepath.Join(dir, journalFile), oldJournal, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot == nil || res.Snapshot.Index != 4 || len(res.Tail) != 0 {
+		t.Fatalf("reconciliation: snap=%+v tail=%d", res.Snapshot, len(res.Tail))
+	}
+	mustAppend(t, res.Store, 5, `{}`)
+	res.Store.Close()
+	res2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Store.Close()
+	if len(res2.Tail) != 1 || res2.Tail[0].Index != 5 {
+		t.Fatalf("post-reconciliation append: %+v", res2.Tail)
+	}
+}
+
+func TestJournalPastSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 6; i++ {
+		mustAppend(t, st, i, `{}`)
+	}
+	st.Close()
+	oldJournal := readJournal(t, dir)
+
+	st2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Store.WriteSnapshot(4, json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	st2.Store.Close()
+	if err := os.WriteFile(filepath.Join(dir, journalFile), oldJournal, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("journal past snapshot: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := Snapshot{Meta: testMeta(), Index: 42, Payload: json.RawMessage(`{"deep":{"state":[1,2,3]}}`)}
+	data, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != s.Meta || got.Index != s.Index || string(got.Payload) != string(s.Payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Any single-byte truncation of an atomic snapshot is corruption.
+	for cut := len(data) - 1; cut >= 0; cut -= 7 {
+		if _, err := DecodeSnapshot(data[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated snapshot at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint throws arbitrary bytes at both decoders. Neither may
+// panic; every failure must be one of the typed sentinel errors; and a
+// successfully decoded journal must have contiguous record indices with
+// ValidLen inside the input.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	snap, _ := EncodeSnapshot(Snapshot{
+		Meta: Meta{Fingerprint: "fuzz", Every: 8}, Index: 3,
+		Payload: json.RawMessage(`{"k":"v"}`),
+	})
+	f.Add(snap)
+	st, err := Create(f.TempDir(), Meta{Fingerprint: "fuzz", Every: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	journal := appendFrame(encodePreamble(journalMagic), mustJSON(journalHeader{Meta: Meta{Fingerprint: "fuzz"}, Base: 2}))
+	journal = appendFrame(journal, mustJSON(Record{Index: 3, Payload: json.RawMessage(`{}`)}))
+	st.Close()
+	f.Add(journal)
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte(journalMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeSnapshot(data); err != nil {
+			checkTyped(t, err)
+		}
+		info, err := DecodeJournal(data)
+		if err != nil {
+			checkTyped(t, err)
+			return
+		}
+		if info.ValidLen > int64(len(data)) {
+			t.Fatalf("ValidLen %d exceeds input %d", info.ValidLen, len(data))
+		}
+		for i, rec := range info.Records {
+			if rec.Index != info.Base+int64(i)+1 {
+				t.Fatalf("record %d has index %d (base %d)", i, rec.Index, info.Base)
+			}
+		}
+	})
+}
+
+func checkTyped(t *testing.T, err error) {
+	t.Helper()
+	switch {
+	case errors.Is(err, ErrCorrupt), errors.Is(err, ErrVersion):
+	default:
+		t.Fatalf("untyped decode error: %v", err)
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

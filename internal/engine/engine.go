@@ -60,6 +60,15 @@ func (m *Meter) AddCost(units float64) {
 // Cost returns the accumulated cost in units.
 func (m *Meter) Cost() float64 { return float64(m.costNanos.Load()) / 1e9 }
 
+// CostNanos returns the accumulated cost in exact nano-units. Checkpointing
+// snapshots this integer rather than the float units: AddCost truncates per
+// call, so restoring a sum of float units would not be bit-exact.
+func (m *Meter) CostNanos() int64 { return m.costNanos.Load() }
+
+// AddCostNanos adds exact nano-units; the checkpoint restore path uses it to
+// reproduce the pre-crash meter bit for bit.
+func (m *Meter) AddCostNanos(n int64) { m.costNanos.Add(n) }
+
 // ExecutedQueries returns the number of queries that scanned the table.
 func (m *Meter) ExecutedQueries() int64 { return m.executed.Load() }
 

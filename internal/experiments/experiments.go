@@ -56,6 +56,11 @@ type Setup struct {
 	// retry/backoff/deadline response.
 	Faults faults.Policy
 	Retry  faults.RetryPolicy
+	// Checkpoint, when set, makes the run crash-safe (journal + snapshots in
+	// the spec's directory); HaltAfterCommits simulates a hard kill. The
+	// checkpoint-resume smoke arm uses both.
+	Checkpoint       *miner.CheckpointSpec
+	HaltAfterCommits int64
 }
 
 // FullFunctionality is the paper's golden configuration: all optimizations
@@ -94,6 +99,8 @@ func (s Setup) Run(tab *dataset.Table) (*miner.Result, *engine.Engine) {
 	}
 	cfg.PatternsFirst = s.PatternsFirst
 	cfg.Observer = s.Observer
+	cfg.Checkpoint = s.Checkpoint
+	cfg.HaltAfterCommits = s.HaltAfterCommits
 	if s.DisablePruning {
 		cfg.EnablePruning1 = false
 		cfg.EnablePruning2 = false

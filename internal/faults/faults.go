@@ -249,6 +249,16 @@ func (in *Injector) Retry() RetryPolicy {
 	return in.retry
 }
 
+// Policy returns the injection policy the injector was built from; the zero
+// value on a nil injector. The miner's checkpoint fingerprint includes it so
+// a resumed run cannot silently continue under a different fault schedule.
+func (in *Injector) Policy() Policy {
+	if in == nil {
+		return Policy{}
+	}
+	return in.policy
+}
+
 // MaxAttempts returns the physical retry budget for real (non-injected)
 // substrate errors: 1 on a nil injector.
 func (in *Injector) MaxAttempts() int {
@@ -419,6 +429,33 @@ func (b *Breaker) Trips() int64 {
 		return 0
 	}
 	return b.trips
+}
+
+// BreakerState is the breaker's exportable mutable state, captured by the
+// miner's checkpoint snapshots (the threshold is part of the configuration
+// fingerprint, not the state).
+type BreakerState struct {
+	Consecutive int   `json:"consecutive"`
+	Open        bool  `json:"open"`
+	Trips       int64 `json:"trips"`
+}
+
+// State exports the breaker's mutable state.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerState{}
+	}
+	return BreakerState{Consecutive: b.consecutive, Open: b.open, Trips: b.trips}
+}
+
+// Restore overwrites the breaker's mutable state from a checkpoint.
+func (b *Breaker) Restore(s BreakerState) {
+	if b == nil {
+		return
+	}
+	b.consecutive = s.Consecutive
+	b.open = s.Open
+	b.trips = s.Trips
 }
 
 // ParseSpec parses a comma-separated key=value fault specification, the

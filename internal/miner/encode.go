@@ -1,0 +1,423 @@
+package miner
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/core"
+	"metainsight/internal/faults"
+	"metainsight/internal/model"
+	"metainsight/internal/obs"
+	"metainsight/internal/pattern"
+)
+
+// This file serializes miner state for internal/checkpoint. Everything in a
+// snapshot is either an int64 (exact in JSON when decoded into an int64
+// field), a float64 (Go's shortest-representation encoding round-trips
+// float64 exactly), a string, or a struct of those — so a restored run's
+// state is bit-identical to the state that was saved, which is what lets the
+// resumed suffix reproduce the uninterrupted run's trace byte for byte.
+// Cache *contents* are deliberately not persisted: only the simulated-cache
+// key/size bookkeeping is. The physical caches re-prime naturally while the
+// journal tail re-executes (every replayed unit re-materializes its data),
+// and the purity rules of usage.go guarantee the re-executed units record
+// the same usage the originals did.
+
+// unitJSON is the wire form of one pending workUnit. Scalar fields carry no
+// omitempty: a 0-priority unit must round-trip as 0, not as absent.
+type unitJSON struct {
+	Kind      string         `json:"kind"`
+	Priority  float64        `json:"priority"`
+	Seq       int64          `json:"seq"`
+	Subspace  model.Subspace `json:"subspace,omitempty"`
+	Impact    float64        `json:"impact"`
+	MaxDimIdx int            `json:"max_dim_idx"`
+	Breakdown string         `json:"breakdown,omitempty"`
+	HDS       *core.HDS      `json:"hds,omitempty"`
+	PType     int            `json:"ptype"`
+	ImpactHDS float64        `json:"impact_hds"`
+	MIKey     string         `json:"mi_key,omitempty"`
+}
+
+func encodeUnit(u *workUnit) unitJSON {
+	j := unitJSON{
+		Kind:      u.kind.String(),
+		Priority:  u.priority,
+		Seq:       u.seq,
+		Subspace:  u.subspace,
+		Impact:    u.impact,
+		MaxDimIdx: u.maxDimIdx,
+		Breakdown: u.breakdown,
+		PType:     int(u.ptype),
+		ImpactHDS: u.impactHDS,
+		MIKey:     u.miKey,
+	}
+	if u.kind == kindMetaInsight {
+		hds := u.hds
+		j.HDS = &hds
+	}
+	return j
+}
+
+func decodeUnit(j unitJSON) (*workUnit, error) {
+	var kind unitKind
+	switch j.Kind {
+	case kindExpand.String():
+		kind = kindExpand
+	case kindDataPattern.String():
+		kind = kindDataPattern
+	case kindMetaInsight.String():
+		kind = kindMetaInsight
+	default:
+		return nil, fmt.Errorf("unknown unit kind %q", j.Kind)
+	}
+	u := &workUnit{
+		kind:      kind,
+		priority:  j.Priority,
+		seq:       j.Seq,
+		subspace:  j.Subspace,
+		impact:    j.Impact,
+		maxDimIdx: j.MaxDimIdx,
+		breakdown: j.Breakdown,
+		ptype:     pattern.Type(j.PType),
+		impactHDS: j.ImpactHDS,
+		miKey:     j.MIKey,
+	}
+	if j.HDS != nil {
+		u.hds = *j.HDS
+	}
+	return u, nil
+}
+
+// cacheEntryJSON is one simulated query-cache entry; evalEntryJSON one
+// simulated pattern-cache entry. When the cache is byte-bounded the entry
+// list preserves the commit-order FIFO eviction queue; unbounded caches have
+// no eviction order and serialize sorted.
+type cacheEntryJSON struct {
+	Subspace  string `json:"s"`
+	Breakdown string `json:"b"`
+	Bytes     int64  `json:"n"`
+}
+
+type evalEntryJSON struct {
+	Scope string `json:"s"`
+	Bytes int64  `json:"n"`
+}
+
+// acctJSON is the accounting's full mutable state, meter included.
+type acctJSON struct {
+	Executed         int64   `json:"executed"`
+	Augmented        int64   `json:"augmented"`
+	Served           int64   `json:"served"`
+	QCHits           int64   `json:"qc_hits"`
+	QCMisses         int64   `json:"qc_misses"`
+	PCHits           int64   `json:"pc_hits"`
+	PCMisses         int64   `json:"pc_misses"`
+	PrefetchFailures int64   `json:"prefetch_failures"`
+	FailedUnits      int64   `json:"failed_units"`
+	Retries          int64   `json:"retries"`
+	BreakerTrips     int64   `json:"breaker_trips"`
+	Evictions        int64   `json:"evictions"`
+	Cost             float64 `json:"cost"`
+
+	QC []cacheEntryJSON `json:"qc"`
+	PC []evalEntryJSON  `json:"pc"`
+
+	Breaker faults.BreakerState `json:"breaker"`
+
+	// Meter state in exact nano-units (AddCost truncates per call, so the
+	// float total is not restorable bit-exactly — the integer is).
+	MeterCostNanos int64 `json:"meter_cost_nanos"`
+	MeterExecuted  int64 `json:"meter_executed"`
+	MeterServed    int64 `json:"meter_served"`
+	MeterAugmented int64 `json:"meter_augmented"`
+}
+
+func (a *accounting) exportState() acctJSON {
+	st := acctJSON{
+		Executed:         a.executed,
+		Augmented:        a.augmented,
+		Served:           a.served,
+		QCHits:           a.qcHits,
+		QCMisses:         a.qcMisses,
+		PCHits:           a.pcHits,
+		PCMisses:         a.pcMisses,
+		PrefetchFailures: a.prefetchFailures,
+		FailedUnits:      a.failedUnits,
+		Retries:          a.retries,
+		BreakerTrips:     a.breakerTrips,
+		Evictions:        a.evictions,
+		Cost:             a.cost,
+		Breaker:          a.breaker.State(),
+		MeterCostNanos:   a.meter.CostNanos(),
+		MeterExecuted:    a.meter.ExecutedQueries(),
+		MeterServed:      a.meter.ServedQueries(),
+		MeterAugmented:   a.meter.AugmentedQueries(),
+	}
+	if a.qcMaxBytes > 0 {
+		for _, k := range a.qcOrder {
+			st.QC = append(st.QC, cacheEntryJSON{Subspace: k.Subspace, Breakdown: k.Breakdown, Bytes: a.qc[k]})
+		}
+	} else {
+		keys := make([]cache.UnitKey, 0, len(a.qc))
+		for k := range a.qc {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Subspace != keys[j].Subspace {
+				return keys[i].Subspace < keys[j].Subspace
+			}
+			return keys[i].Breakdown < keys[j].Breakdown
+		})
+		for _, k := range keys {
+			st.QC = append(st.QC, cacheEntryJSON{Subspace: k.Subspace, Breakdown: k.Breakdown, Bytes: a.qc[k]})
+		}
+	}
+	if a.pcMaxBytes > 0 {
+		for _, k := range a.pcOrder {
+			st.PC = append(st.PC, evalEntryJSON{Scope: k, Bytes: a.pc[k]})
+		}
+	} else {
+		keys := make([]string, 0, len(a.pc))
+		for k := range a.pc {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			st.PC = append(st.PC, evalEntryJSON{Scope: k, Bytes: a.pc[k]})
+		}
+	}
+	return st
+}
+
+// restoreState overwrites the accounting (which newAccounting seeded from
+// the physical caches — empty in a fresh process) with checkpointed state.
+// It expects the meter at zero: the engine a resume runs against must be
+// fresh, and the replay verification catches a non-fresh one immediately.
+func (a *accounting) restoreState(st acctJSON) {
+	a.executed = st.Executed
+	a.augmented = st.Augmented
+	a.served = st.Served
+	a.qcHits = st.QCHits
+	a.qcMisses = st.QCMisses
+	a.pcHits = st.PCHits
+	a.pcMisses = st.PCMisses
+	a.prefetchFailures = st.PrefetchFailures
+	a.failedUnits = st.FailedUnits
+	a.retries = st.Retries
+	a.breakerTrips = st.BreakerTrips
+	a.evictions = st.Evictions
+	a.cost = st.Cost
+	a.breaker.Restore(st.Breaker)
+	a.meter.AddCostNanos(st.MeterCostNanos)
+	a.meter.AddExecuted(st.MeterExecuted)
+	a.meter.AddServed(st.MeterServed)
+	a.meter.AddAugmented(st.MeterAugmented)
+
+	a.qc = make(map[cache.UnitKey]int64, len(st.QC))
+	a.qcOrder = nil
+	a.qcBytes = 0
+	for _, e := range st.QC {
+		k := cache.UnitKey{Subspace: e.Subspace, Breakdown: e.Breakdown}
+		a.qc[k] = e.Bytes
+		a.qcBytes += e.Bytes
+		if a.qcMaxBytes > 0 {
+			a.qcOrder = append(a.qcOrder, k)
+		}
+	}
+	a.pc = make(map[string]int64, len(st.PC))
+	a.pcOrder = nil
+	a.pcBytes = 0
+	for _, e := range st.PC {
+		a.pc[e.Scope] = e.Bytes
+		a.pcBytes += e.Bytes
+		if a.pcMaxBytes > 0 {
+			a.pcOrder = append(a.pcOrder, e.Scope)
+		}
+	}
+}
+
+// setObserver swaps the accounting's observer (nil silences it); the resume
+// replay uses it to suppress re-emission of events the pre-crash run already
+// recorded.
+func (a *accounting) setObserver(o *obs.Observer) {
+	a.obs = o
+	a.traced = o.Tracing()
+}
+
+// snapshotJSON is the miner-side snapshot payload.
+type snapshotJSON struct {
+	Seq     int64               `json:"seq"`
+	Stats   Stats               `json:"stats"`
+	Pending []unitJSON          `json:"pending"`
+	SeenMI  []string            `json:"seen_mi"`
+	Results []*core.MetaInsight `json:"results"`
+	Acct    acctJSON            `json:"acct"`
+}
+
+// recordJSON is one journal record: the committed unit's identity plus
+// post-commit invariants the replay verifies (any mismatch means the resume
+// is not reproducing the original run and must abort with
+// ErrReplayDiverged rather than continue silently wrong).
+type recordJSON struct {
+	Kind        string `json:"kind"`
+	Unit        string `json:"unit"`
+	Seq         int64  `json:"seq"`
+	Produced    int    `json:"produced"`
+	Panicked    bool   `json:"panicked,omitempty"`
+	CostNanos   int64  `json:"cost_nanos"`
+	Results     int    `json:"results"`
+	FailedUnits int64  `json:"failed_units"`
+	Evictions   int64  `json:"evictions"`
+}
+
+// encodeSnapshotPayload captures the complete dispatcher-owned state:
+// sequence counter, stats, every pending unit (queued or dispatched-but-
+// uncommitted — the pending *set* after N canonical commits is worker-count-
+// invariant even though its queue/spec split is not), dedup set, results,
+// and the accounting. Pending units sort by seq, which is a total order over
+// live units and equals FIFO insertion order, so both queue disciplines
+// rebuild identically.
+func (m *Miner) encodeSnapshotPayload(patternQ, miQ workQueue, spec []*specEntry) ([]byte, error) {
+	var pending []*workUnit
+	pending = append(pending, patternQ.Items()...)
+	if miQ != patternQ {
+		pending = append(pending, miQ.Items()...)
+	}
+	for _, e := range spec {
+		pending = append(pending, e.unit)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+
+	snap := snapshotJSON{
+		Seq:     m.seq,
+		Stats:   m.stats,
+		Pending: make([]unitJSON, len(pending)),
+		Acct:    m.acct.exportState(),
+	}
+	for i, u := range pending {
+		snap.Pending[i] = encodeUnit(u)
+	}
+	snap.SeenMI = make([]string, 0, len(m.seenMI))
+	for k := range m.seenMI {
+		snap.SeenMI = append(snap.SeenMI, k)
+	}
+	sort.Strings(snap.SeenMI)
+	snap.Results = make([]*core.MetaInsight, 0, len(m.results))
+	for _, mi := range m.results {
+		snap.Results = append(snap.Results, mi)
+	}
+	sort.Slice(snap.Results, func(i, j int) bool { return snap.Results[i].Key() < snap.Results[j].Key() })
+	return json.Marshal(snap)
+}
+
+// restoreSnapshotPayload rebuilds dispatcher state from a snapshot. Pending
+// units are re-routed to the queues they came from (MetaInsight units to the
+// MI queue under PatternsFirst) in seq order. Cancelled is cleared: the
+// restored run is live again.
+func (m *Miner) restoreSnapshotPayload(payload []byte, patternQ, miQ workQueue) error {
+	var snap snapshotJSON
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return fmt.Errorf("snapshot payload: %w", err)
+	}
+	m.seq = snap.Seq
+	m.stats = snap.Stats
+	m.stats.Cancelled = false
+	for _, k := range snap.SeenMI {
+		m.seenMI[k] = true
+	}
+	for _, mi := range snap.Results {
+		m.results[mi.Key()] = mi
+	}
+	for _, j := range snap.Pending {
+		u, err := decodeUnit(j)
+		if err != nil {
+			return err
+		}
+		if u.kind == kindMetaInsight {
+			miQ.Push(u)
+		} else {
+			patternQ.Push(u)
+		}
+	}
+	m.acct.restoreState(snap.Acct)
+	return nil
+}
+
+// encodeRecord captures the post-commit invariants of one committed unit.
+func (m *Miner) encodeRecord(c *completion) recordJSON {
+	return recordJSON{
+		Kind:        c.unit.kind.String(),
+		Unit:        describeUnit(c.unit),
+		Seq:         c.unit.seq,
+		Produced:    len(c.produced),
+		Panicked:    c.panicked,
+		CostNanos:   m.acct.meter.CostNanos(),
+		Results:     len(m.results),
+		FailedUnits: m.acct.failedUnits,
+		Evictions:   m.acct.evictions,
+	}
+}
+
+// fingerprint hashes everything that shapes the canonical commit stream:
+// the table's shape, the measure set, every scoring/pattern/miner knob, the
+// cache configuration, the fault policy and the budget kind. Workers is
+// deliberately excluded — worker count is a proven run invariant, so a run
+// checkpointed at W=8 may resume at W=1 and still match bit for bit. Custom
+// pattern evaluators contribute their names only (function values have no
+// stable cross-process identity); registering a *different* evaluator under
+// the same name defeats the check, which the API docs call out.
+func (m *Miner) fingerprint() string {
+	h := fnv.New64a()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	w("ckpt-v1")
+	tab := m.eng.Table()
+	w("table", tab.Name(), strconv.Itoa(tab.Rows()))
+	for _, d := range tab.Dimensions() {
+		w("dim", d.Name, strconv.Itoa(d.Cardinality()), strconv.Itoa(int(d.Kind)))
+	}
+	for _, ms := range m.eng.Measures() {
+		w("measure", ms.Key())
+	}
+	w("impact", m.eng.ImpactMeasure().Key())
+	w("score", fmt.Sprintf("%+v", m.cfg.Score))
+	p := m.cfg.Pattern
+	w("pattern", fmt.Sprintf("%g %g %g %g %g %d %g %g %g %g",
+		p.Alpha, p.EvennessCV, p.AttributionShare, p.OutlierSigma,
+		p.OutlierMaxFraction, p.SmoothWindow, p.SeasonalityMinACF, p.TrendMinR2,
+		p.UnimodalViolationFraction, p.UnimodalMinProminence))
+	for _, c := range p.Custom {
+		w("custom", c.Name, strconv.FormatBool(c.TemporalOnly))
+	}
+	w("miner", fmt.Sprintf("%d %d %g %g %t %t %t %g %t",
+		m.cfg.MaxSubspaceFilters, m.cfg.MaxBreakdownCardinality, m.cfg.MinImpact,
+		m.cfg.MinSubspaceImpact, m.cfg.UsePriorityQueues, m.cfg.EnablePruning1,
+		m.cfg.EnablePruning2, m.cfg.DegradedThreshold, m.cfg.PatternsFirst))
+	qc := m.eng.QueryCache()
+	w("qcache", fmt.Sprintf("%t %d", qc.Enabled(), qc.MaxBytes()))
+	w("pcache", fmt.Sprintf("%t %d", m.pcache.Enabled(), m.pcache.MaxBytes()))
+	inj := m.eng.Faults()
+	w("faults", fmt.Sprintf("%+v", inj.Policy()), fmt.Sprintf("%+v", inj.Retry()))
+	switch b := m.cfg.Budget.(type) {
+	case Unlimited:
+		w("budget", "unlimited")
+	case CostBudget:
+		w("budget", fmt.Sprintf("cost:%g", b.Limit))
+	case TimeBudget:
+		// Deadlines re-anchor on resume (documented); only the budget kind
+		// is part of the run's identity.
+		w("budget", "time")
+	default:
+		w("budget", fmt.Sprintf("custom:%T", b))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -108,6 +108,32 @@ type Config struct {
 	// strictly fewer executed queries, at the price of deviating from the
 	// paper's two-module accounting (see the Figure 7 experiment).
 	PatternsFirst bool
+	// Checkpoint, when set, makes the run crash-safe: the dispatcher appends
+	// one durable journal record per committed unit and writes an atomic
+	// snapshot every Checkpoint.Every commits (see internal/checkpoint and
+	// DESIGN.md §7). With Resume set, the run restores the directory's latest
+	// valid state first and continues bit-identically to an uninterrupted
+	// run.
+	Checkpoint *CheckpointSpec
+	// HaltAfterCommits, when positive, hard-stops the dispatcher after that
+	// many unit commits without writing a final snapshot — a deterministic
+	// stand-in for kill -9 used by the kill-and-resume tests and the CI
+	// smoke arm. Zero (the default) never halts.
+	HaltAfterCommits int64
+}
+
+// CheckpointSpec configures crash-safety for one run.
+type CheckpointSpec struct {
+	// Dir is the checkpoint directory (created if missing).
+	Dir string
+	// Every is the snapshot cadence in unit commits; <= 0 defaults to 256.
+	// The journal bounds replay work between snapshots, so Every trades
+	// snapshot I/O against resume time, never correctness.
+	Every int64
+	// Resume restores the run from Dir instead of starting fresh. The
+	// directory's configuration fingerprint must match this run's
+	// configuration (ErrCheckpointMismatch otherwise).
+	Resume bool
 }
 
 // DefaultConfig mirrors the paper's configuration: depth-3 subspaces,
@@ -155,6 +181,11 @@ type Stats struct {
 	Retries int64
 	// BreakerTrips counts circuit-breaker open transitions.
 	BreakerTrips int64
+	// PanickedUnits counts compute units whose evaluation panicked; each was
+	// recovered on its worker and committed as failed-and-accounted (see
+	// EvUnitPanic) instead of crashing the run. Panics are pure functions of
+	// the unit and the data, so the count is worker-count-invariant.
+	PanickedUnits int64
 	// Evictions counts entries evicted from the byte-bounded caches, per the
 	// canonical commit-order simulation (0 when the caches are unbounded).
 	Evictions int64
@@ -168,6 +199,15 @@ type Stats struct {
 	AugmentedQueries int64
 	CacheServed      int64
 	CostUsed         float64
+	// CheckpointWrites counts durable snapshots written, cumulatively across
+	// a resumed run's lifetimes (a run resumed once and finishing with N
+	// total snapshots reports N, exactly like the uninterrupted run).
+	CheckpointWrites int64
+	// ResumedUnits is the commit index this run restored from its checkpoint
+	// directory (snapshot commits + replayed journal records); 0 for a fresh
+	// run. It is the one Stats field that legitimately differs between an
+	// uninterrupted run and a killed-and-resumed one.
+	ResumedUnits int64
 	// Cancelled reports that the run stopped early because its context was
 	// cancelled; the result holds the best-so-far MetaInsights committed up
 	// to the cancellation point.
@@ -217,6 +257,14 @@ type Miner struct {
 	stats   Stats
 	seq     int64
 	acct    *accounting
+	// commitIndex counts unit commits across the run's whole lifetime
+	// (snapshot base + replayed + live); the checkpoint journal and snapshot
+	// cadence key off it.
+	commitIndex int64
+	// ckErr records the first checkpoint I/O failure; the run stops (its
+	// determinism guarantee would otherwise silently lapse) and the error is
+	// joined into Result.Err.
+	ckErr error
 }
 
 // New creates a Miner. The zero-value parts of cfg are filled with defaults.
@@ -269,6 +317,11 @@ type completion struct {
 	events   []usageEvent
 	delta    statDelta
 	mi       *core.MetaInsight // non-nil when a kindMetaInsight unit qualified
+	// panicked marks a unit whose process call panicked; panicVal carries the
+	// rendered panic value. The unit commits as failed-and-accounted: no
+	// events, no children, no MetaInsight.
+	panicked bool
+	panicVal string
 }
 
 // specEntry tracks one dispatched-but-uncommitted unit.
@@ -292,15 +345,24 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 	if m.cfg.PatternsFirst {
 		miQ = m.newQueue()
 	}
-	patternQ.Push(&workUnit{
-		kind:      kindExpand,
-		priority:  1,
-		subspace:  model.EmptySubspace,
-		impact:    1,
-		maxDimIdx: -1,
-	})
 
 	m.acct = newAccounting(m.eng, m.pcache, m.cfg.Observer)
+
+	// stopped is set when a resume's replay was cancelled mid-way: the
+	// restored state is checkpointed again and returned without re-entering
+	// the mining loop.
+	var ck *ckptRunner
+	stopped := false
+	if cs := m.cfg.Checkpoint; cs != nil {
+		var err error
+		ck, stopped, err = m.initCheckpoint(ctx, cs, patternQ, miQ)
+		if err != nil {
+			return &Result{Stats: m.stats, Err: err}
+		}
+		defer ck.close()
+	} else {
+		m.pushRoot(patternQ)
+	}
 
 	workCh := make(chan *workUnit)
 	doneCh := make(chan *completion)
@@ -314,12 +376,12 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 					// Worker-side phase accounting is atomic-only and
 					// therefore inert; totals are CPU time across workers.
 					t0 := time.Now()
-					c := m.process(u)
+					c := m.safeProcess(u)
 					o.Phase(u.kind.phase(), time.Since(t0))
 					doneCh <- c
 					continue
 				}
-				doneCh <- m.process(u)
+				doneCh <- m.safeProcess(u)
 			}
 		}()
 	}
@@ -406,7 +468,8 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 		inflight--
 	}
 
-	for {
+	halted := false
+	for !stopped {
 		if ctx.Err() != nil {
 			m.stats.Cancelled = true
 			o.Event(obs.EvCancel, "", "context cancelled; returning best-so-far results", 0)
@@ -423,6 +486,17 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 		if entry != nil && entry.comp != nil {
 			m.commit(entry.comp, miQ, patternQ)
 			remove(entry)
+			m.commitIndex++
+			if ck != nil {
+				if err := ck.onCommit(m, entry.comp, patternQ, miQ, spec); err != nil {
+					m.ckErr = err
+					break
+				}
+			}
+			if m.cfg.HaltAfterCommits > 0 && m.commitIndex >= m.cfg.HaltAfterCommits {
+				halted = true
+				break
+			}
 			continue
 		}
 		if inflight < m.cfg.Workers && len(spec) < specCap {
@@ -460,6 +534,17 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 	for range doneCh {
 	}
 
+	// Final snapshot: budget stop, drained work, cancellation and a replay
+	// cancelled mid-resume all leave a resumable (or, when the run simply
+	// finished, re-loadable) directory behind. A HaltAfterCommits hard-stop
+	// deliberately skips it — that is the simulated crash — and after a
+	// checkpoint I/O failure the directory is not trustworthy to advance.
+	if ck != nil && !halted && m.ckErr == nil {
+		if err := ck.writeFinalSnapshot(m, patternQ, miQ, spec); err != nil {
+			m.ckErr = err
+		}
+	}
+
 	return m.finish()
 }
 
@@ -493,6 +578,26 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	}
 	if traced {
 		o.Event(obs.EvPop, describeUnit(c.unit), c.unit.kind.String(), 0)
+	}
+	if c.panicked {
+		// Failed-and-accounted: the unit's kind counter still advances (it
+		// was processed), but it contributes no usage, children or result.
+		m.stats.ExpandUnits += c.delta.expandUnits
+		m.stats.DataPatternUnits += c.delta.dataPatternUnits
+		m.stats.MetaInsightUnits += c.delta.metaInsightUnits
+		m.stats.PanickedUnits++
+		if o != nil {
+			o.Count("miner.units.expand", c.delta.expandUnits)
+			o.Count("miner.units.datapattern", c.delta.dataPatternUnits)
+			o.Count("miner.units.metainsight", c.delta.metaInsightUnits)
+			o.Count("miner.units.panicked", 1)
+			if traced {
+				o.Event(obs.EvUnitPanic, describeUnit(c.unit), c.panicVal, 0)
+			}
+			o.Observe("miner.commit.cost_units", commitCostBounds, 0)
+			o.Phase(obs.PhaseCommit, time.Since(t0))
+		}
+		return
 	}
 	for _, ev := range c.events {
 		m.acct.apply(ev)
@@ -587,6 +692,17 @@ func (m *Miner) newQueue() workQueue {
 	return newFIFOQueue()
 }
 
+// pushRoot seeds the search with the empty-subspace expansion unit.
+func (m *Miner) pushRoot(patternQ workQueue) {
+	patternQ.Push(&workUnit{
+		kind:      kindExpand,
+		priority:  1,
+		subspace:  model.EmptySubspace,
+		impact:    1,
+		maxDimIdx: -1,
+	})
+}
+
 func (m *Miner) finish() *Result {
 	out := make([]*core.MetaInsight, 0, len(m.results))
 	for _, mi := range m.results {
@@ -620,6 +736,11 @@ func (m *Miner) finish() *Result {
 				100*rate, 100*m.cfg.DegradedThreshold)
 		}
 	}
+	if m.ckErr != nil {
+		// errors.Join keeps both matchable with errors.Is; the MetaInsights
+		// remain valid best-effort output either way.
+		runErr = errors.Join(m.ckErr, runErr)
+	}
 	if o := m.cfg.Observer; o != nil {
 		// End-of-run gauges carry the canonical (worker-count-invariant)
 		// accounting; the live counters above track progressive commit-side
@@ -640,6 +761,43 @@ func (m *Miner) finish() *Result {
 		o.SetGauge("miner.pcache.entries", float64(m.stats.PatternCacheStats.Entries))
 	}
 	return &Result{MetaInsights: out, Stats: m.stats, Err: runErr}
+}
+
+// safeProcess runs process under a recover barrier: a panicking pattern
+// evaluator (e.g. an unregistered custom type) takes down one unit, not the
+// process. The recovered completion is fresh — whatever partial events or
+// children process accumulated are discarded, so the commit is a pure
+// function of the unit — and carries only the kind counter plus the panic
+// value. Panics are deterministic (pure functions of unit + data; the
+// single-flight groups propagate the leader's panic to every follower), so
+// the same units panic at every worker count.
+func (m *Miner) safeProcess(u *workUnit) (c *completion) {
+	defer func() {
+		if r := recover(); r != nil {
+			c = &completion{unit: u, panicked: true, panicVal: panicLabel(r)}
+			switch u.kind {
+			case kindExpand:
+				c.delta.expandUnits++
+			case kindDataPattern:
+				c.delta.dataPatternUnits++
+			case kindMetaInsight:
+				c.delta.metaInsightUnits++
+			}
+		}
+	}()
+	return m.process(u)
+}
+
+// panicLabel renders a panic value as a bounded trace detail. Values that
+// stringify pointers are not stable across processes; tests and evaluators
+// should panic with strings or errors when the label matters.
+func panicLabel(r any) string {
+	s := fmt.Sprint(r)
+	const maxLen = 256
+	if len(s) > maxLen {
+		s = s[:maxLen] + "..."
+	}
+	return s
 }
 
 // process executes one compute unit speculatively: pure data work plus a

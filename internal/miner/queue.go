@@ -77,6 +77,10 @@ type workQueue interface {
 	Pop() *workUnit
 	Peek() *workUnit
 	Len() int
+	// Items returns the queued units in no particular order, without
+	// consuming them. Checkpoint snapshots serialize pending work through it
+	// (sorting by seq, which is a total order over live units).
+	Items() []*workUnit
 }
 
 // priorityQueue orders units by priority descending, breaking ties by
@@ -104,6 +108,8 @@ func (q *priorityQueue) Peek() *workUnit {
 }
 
 func (q *priorityQueue) Len() int { return len(q.items) }
+
+func (q *priorityQueue) Items() []*workUnit { return append([]*workUnit(nil), q.items...) }
 
 type unitHeap []*workUnit
 
@@ -158,3 +164,5 @@ func (q *fifoQueue) Peek() *workUnit {
 }
 
 func (q *fifoQueue) Len() int { return len(q.items) - q.head }
+
+func (q *fifoQueue) Items() []*workUnit { return append([]*workUnit(nil), q.items[q.head:]...) }

@@ -26,8 +26,14 @@ func (s Stats) String() string {
 		fmt.Fprintf(&b, " faults[failed=%d retries=%d breaker-trips=%d]",
 			s.FailedUnits, s.Retries, s.BreakerTrips)
 	}
+	if s.PanickedUnits > 0 {
+		fmt.Fprintf(&b, " panicked=%d", s.PanickedUnits)
+	}
 	if s.Evictions > 0 {
 		fmt.Fprintf(&b, " evictions=%d", s.Evictions)
+	}
+	if s.CheckpointWrites > 0 || s.ResumedUnits > 0 {
+		fmt.Fprintf(&b, " checkpoint[writes=%d resumed=%d]", s.CheckpointWrites, s.ResumedUnits)
 	}
 	if s.ShortSeriesSkips > 0 || s.ExtractErrors > 0 {
 		fmt.Fprintf(&b, " skips[short-series=%d extract-errors=%d]",
@@ -72,7 +78,10 @@ type statsJSON struct {
 	FailedUnits      int64          `json:"failed_units"`
 	Retries          int64          `json:"retries"`
 	BreakerTrips     int64          `json:"breaker_trips"`
+	PanickedUnits    int64          `json:"panicked_units"`
 	Evictions        int64          `json:"evictions"`
+	CheckpointWrites int64          `json:"checkpoint_writes"`
+	ResumedUnits     int64          `json:"resumed_units"`
 	ShortSeriesSkips int64          `json:"short_series_skips"`
 	ExtractErrors    int64          `json:"extract_errors"`
 	ExecutedQueries  int64          `json:"executed_queries"`
@@ -100,7 +109,10 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		FailedUnits:      s.FailedUnits,
 		Retries:          s.Retries,
 		BreakerTrips:     s.BreakerTrips,
+		PanickedUnits:    s.PanickedUnits,
 		Evictions:        s.Evictions,
+		CheckpointWrites: s.CheckpointWrites,
+		ResumedUnits:     s.ResumedUnits,
 		ShortSeriesSkips: s.ShortSeriesSkips,
 		ExtractErrors:    s.ExtractErrors,
 		ExecutedQueries:  s.ExecutedQueries,
@@ -131,7 +143,10 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		FailedUnits:      j.FailedUnits,
 		Retries:          j.Retries,
 		BreakerTrips:     j.BreakerTrips,
+		PanickedUnits:    j.PanickedUnits,
 		Evictions:        j.Evictions,
+		CheckpointWrites: j.CheckpointWrites,
+		ResumedUnits:     j.ResumedUnits,
 		ShortSeriesSkips: j.ShortSeriesSkips,
 		ExtractErrors:    j.ExtractErrors,
 		ExecutedQueries:  j.ExecutedQueries,

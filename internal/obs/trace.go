@@ -46,23 +46,35 @@ const (
 	// EvEvict marks one entry evicted from a byte-bounded cache (canonical
 	// commit-order simulation).
 	EvEvict
+	// EvUnitPanic marks a compute unit whose evaluation panicked; the worker
+	// recovered and the unit was committed as failed (detail = panic value).
+	EvUnitPanic
+	// EvCheckpointWrite marks one durable snapshot landing on disk.
+	EvCheckpointWrite
+	// EvCheckpointResume marks a run restored from a checkpoint directory
+	// (detail = snapshot index and journal records replayed). It is the only
+	// event a resumed run emits that an uninterrupted run does not.
+	EvCheckpointResume
 )
 
 var eventKindNames = [...]string{
-	EvPop:         "pop",
-	EvQueryExec:   "query-exec",
-	EvCacheHit:    "cache-hit",
-	EvCacheMiss:   "cache-miss",
-	EvPatternEval: "pattern-eval",
-	EvPrune:       "prune",
-	EvDedup:       "dedup",
-	EvStore:       "store",
-	EvBudgetStop:  "budget-stop",
-	EvCancel:      "cancel",
-	EvQueryRetry:  "query-retry",
-	EvQueryFail:   "query-fail",
-	EvBreakerOpen: "breaker-open",
-	EvEvict:       "evict",
+	EvPop:              "pop",
+	EvQueryExec:        "query-exec",
+	EvCacheHit:         "cache-hit",
+	EvCacheMiss:        "cache-miss",
+	EvPatternEval:      "pattern-eval",
+	EvPrune:            "prune",
+	EvDedup:            "dedup",
+	EvStore:            "store",
+	EvBudgetStop:       "budget-stop",
+	EvCancel:           "cancel",
+	EvQueryRetry:       "query-retry",
+	EvQueryFail:        "query-fail",
+	EvBreakerOpen:      "breaker-open",
+	EvEvict:            "evict",
+	EvUnitPanic:        "unit-panic",
+	EvCheckpointWrite:  "checkpoint-write",
+	EvCheckpointResume: "checkpoint-resume",
 }
 
 // String returns the stable wire name of the kind.

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"metainsight/internal/cache"
+	"metainsight/internal/checkpoint"
 	"metainsight/internal/core"
 	"metainsight/internal/dataset"
 	"metainsight/internal/engine"
@@ -139,6 +140,32 @@ var ErrDegraded = miner.ErrDegraded
 // ErrQueryFailed is the sentinel wrapped by every permanently failed query
 // (injected faults, exhausted retries, deadline overruns).
 var ErrQueryFailed = faults.ErrQueryFailed
+
+// Checkpoint/resume sentinels; test with errors.Is on MiningResult.Err or
+// the error returned by Analyze.
+var (
+	// ErrNoCheckpoint: ResumeFromCheckpoint found no usable checkpoint in
+	// the directory.
+	ErrNoCheckpoint = checkpoint.ErrNoCheckpoint
+	// ErrCheckpointCorrupt: a checkpoint file failed validation (bad magic,
+	// CRC mismatch on a complete frame, non-contiguous journal, trailing
+	// garbage). A torn final journal record is NOT corruption — it is the
+	// expected shape after a crash and is silently discarded.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointVersion: the checkpoint was written by an incompatible
+	// format version.
+	ErrCheckpointVersion = checkpoint.ErrVersion
+	// ErrCheckpointExists: WithCheckpoint refuses to overwrite a directory
+	// that already holds a checkpoint; resume it or remove it explicitly.
+	ErrCheckpointExists = checkpoint.ErrExists
+	// ErrCheckpointMismatch: the checkpoint was written under a different
+	// mining configuration (dataset, measures, scoring, caches, faults or
+	// budget kind); resuming it would not reproduce the original run.
+	ErrCheckpointMismatch = miner.ErrCheckpointMismatch
+	// ErrReplayDiverged: re-executing the journal tail did not reproduce the
+	// journaled commits — the inputs changed since the checkpoint was taken.
+	ErrReplayDiverged = miner.ErrReplayDiverged
+)
 
 // ParseFaultSpec parses a "key=value,key=value" fault specification (the
 // CLI's -faults flag) into a fault policy and retry policy. Keys: seed,
@@ -284,6 +311,7 @@ type analyzerOptions struct {
 	retrySet       bool
 	qcBytes        int64
 	pcBytes        int64
+	checkpoint     *miner.CheckpointSpec
 }
 
 // WithMeasures sets the measure set M (default: SUM over every measure
@@ -434,6 +462,34 @@ func WithDegradedThreshold(f float64) Option {
 	return func(o *analyzerOptions) { o.minerCfg.DegradedThreshold = f }
 }
 
+// WithCheckpoint makes mining crash-safe: the miner journals every committed
+// unit to dir (an append-only, CRC-framed log of the canonical commit
+// stream) and writes an atomic snapshot of its full state every `every`
+// commits (default 256 when every <= 0) plus once at loop exit. After a
+// crash or cancellation, ResumeFromCheckpoint(dir) continues the run where
+// it left off. The directory must not already hold a checkpoint
+// (ErrCheckpointExists otherwise). Checkpointing requires the deterministic
+// budget kinds — cost budget or unbounded — to guarantee a resumed run is
+// bit-identical to an uninterrupted one; a time budget re-anchors at resume.
+func WithCheckpoint(dir string, every int64) Option {
+	return func(o *analyzerOptions) {
+		o.checkpoint = &miner.CheckpointSpec{Dir: dir, Every: every}
+	}
+}
+
+// ResumeFromCheckpoint resumes a crashed or cancelled run from the
+// checkpoint directory: the latest valid snapshot is restored, the journal
+// tail (tolerating a torn final record) is replayed by deterministic
+// re-execution — which also re-primes the caches — and mining re-enters its
+// loop on the pending work. The resumed run's results, statistics and trace
+// continue exactly where the interrupted run stopped, at any worker count.
+// Checkpointing continues into the same directory.
+func ResumeFromCheckpoint(dir string) Option {
+	return func(o *analyzerOptions) {
+		o.checkpoint = &miner.CheckpointSpec{Dir: dir, Resume: true}
+	}
+}
+
 // ErrConflictingBudgets is returned by NewAnalyzer when both WithTimeBudget
 // and WithCostBudget are supplied. The two budgets have incompatible
 // semantics — cost budgets are deterministic and reproducible, time budgets
@@ -503,6 +559,7 @@ func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 		})
 	}
 	cfg.Observer = o.observer
+	cfg.Checkpoint = o.checkpoint
 	if o.costBudget > 0 {
 		cfg.Budget = engine.CostBudget{Meter: meter, Limit: o.costBudget}
 	}
