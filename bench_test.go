@@ -87,6 +87,32 @@ func BenchmarkICubeComparison(b *testing.B) {
 	}
 }
 
+// BenchmarkMineEndToEnd measures a full cost-budgeted mining run (mine +
+// rank) end to end at scan parallelism 1 and 4. Results are bit-identical
+// across the two (the morsel pipeline's invariance); only wall-clock may
+// differ.
+func BenchmarkMineEndToEnd(b *testing.B) {
+	tab := workload.CreditCard()
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := metainsight.NewAnalyzer(tab,
+					metainsight.WithCostBudget(400),
+					metainsight.WithScanParallelism(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := a.Mine()
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				a.Rank(res, 10)
+			}
+		})
+	}
+}
+
 // ------------------------------------------------------------- components
 
 func benchEngine(b *testing.B, tab *dataset.Table) *engine.Engine {

@@ -11,7 +11,9 @@
 //
 // The extra "smoke" target is a fast CI check: a short-budget run that
 // verifies Workers=1 and Workers=8 produce identical results and accounting,
-// exiting non-zero on any mismatch. It is not part of "all".
+// exiting non-zero on any mismatch. The extra "bench" target runs the
+// reproducible physical scan-layer bench harness and writes its report to
+// -bench-out (default BENCH_5.json). Neither is part of "all".
 package main
 
 import (
@@ -26,8 +28,9 @@ import (
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiments to run (table1, fig6, fig7, table3, table4, table5, fig8, fig12, icube, discussion, pruning, smoke) or 'all'")
-		seed = flag.Int64("seed", 20210620, "rater-model seed for fig8")
+		run      = flag.String("run", "all", "comma-separated experiments to run (table1, fig6, fig7, table3, table4, table5, fig8, fig12, icube, discussion, pruning, smoke, bench) or 'all'")
+		seed     = flag.Int64("seed", 20210620, "rater-model seed for fig8")
+		benchOut = flag.String("bench-out", "BENCH_5.json", "output path of the bench report (bench target)")
 	)
 	flag.Parse()
 
@@ -63,6 +66,14 @@ func main() {
 	if want["smoke"] {
 		runOne("smoke", func() {
 			if err := experiments.Smoke(w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		})
+	}
+	if want["bench"] {
+		runOne("bench", func() {
+			if err := experiments.Bench(w, *benchOut); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -6,6 +6,7 @@
 //	metainsight -csv data.csv [-k 10] [-budget 10s] [-tau 0.5] [-workers 8]
 //	            [-flat] [-max-card 50] [-trace run.jsonl] [-metrics]
 //	            [-checkpoint dir [-checkpoint-every 256] [-resume]]
+//	            [-scan-parallelism 4] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Exit codes:
 //
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"metainsight"
@@ -53,6 +56,9 @@ func run() int {
 		ckDir   = fs.String("checkpoint", "", "crash-safe mining: journal every commit and snapshot periodically into this directory")
 		ckEvery = fs.Int64("checkpoint-every", 256, "commits between checkpoint snapshots (with -checkpoint)")
 		resume  = fs.Bool("resume", false, "resume the run recorded in -checkpoint instead of starting fresh")
+		scanPar = fs.Int("scan-parallelism", 1, "goroutines per physical scan (results are bit-identical for any value)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+		memProf = fs.String("memprofile", "", "write a heap profile taken after mining to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: metainsight -csv data.csv [flags]")
@@ -73,6 +79,38 @@ func run() int {
 	if *resume && *ckDir == "" {
 		fmt.Fprintln(os.Stderr, "metainsight: -resume requires -checkpoint")
 		return 1
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Deferred so the profile reflects live memory after mining and
+		// ranking, whatever exit path the run takes.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metainsight:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "metainsight:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	loadOpts := []metainsight.LoadOption{
@@ -110,6 +148,7 @@ func run() int {
 		metainsight.WithTau(*tau),
 		metainsight.WithWorkers(*workers),
 		metainsight.WithMaxSubspaceFilters(*depth),
+		metainsight.WithScanParallelism(*scanPar),
 	}
 	if *budget > 0 {
 		opts = append(opts, metainsight.WithTimeBudget(*budget))

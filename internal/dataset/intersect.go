@@ -1,0 +1,166 @@
+package dataset
+
+// Posting-list intersection for multi-filter subspaces. A conjunctive filter
+// is the intersection of the per-value posting lists of its filters; scanning
+// the intersected row set visits exactly the matching rows instead of driving
+// off one list and re-checking the remaining filters row by row. Lists are
+// sorted ascending (see index.go), so intersection is a merge: linear when
+// the lists are of comparable length, galloping (exponential probe + binary
+// search, the classic SvS refinement) when one list is much longer — the
+// galloping form costs O(small · log large) instead of O(small + large).
+
+// gallopRatio is the length ratio |large|/|small| above which a pairwise
+// intersection switches from the linear merge to galloping search. At ratio
+// r the linear merge costs small·(1+r) comparisons and galloping about
+// small·log2(large); 8 is past the crossover for every posting-list size
+// this engine produces.
+const gallopRatio = 8
+
+// Intersect computes the intersection of ascending-sorted row-id lists,
+// smallest list first so every pairwise step shrinks the candidate set as
+// fast as possible. It returns nil when lists is empty, and never mutates
+// its inputs. The result is freshly allocated unless it aliases the single
+// input of a one-list call.
+func Intersect(lists ...[]int32) []int32 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	ordered := make([][]int32, len(lists))
+	copy(ordered, lists)
+	// Insertion sort by length: the list count is the filter count (≤ a
+	// handful), and stability keeps the result deterministic for equal
+	// lengths.
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && len(ordered[j]) < len(ordered[j-1]); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	out := intersectPair(ordered[0], ordered[1], nil)
+	for i := 2; i < len(ordered) && len(out) > 0; i++ {
+		out = intersectPair(out, ordered[i], out[:0])
+	}
+	return out
+}
+
+// intersectPair intersects two ascending-sorted lists into dst (which may
+// alias a's backing array: writes never outrun reads because the output is
+// a subsequence of a). It picks galloping or linear merge by length ratio.
+func intersectPair(a, b []int32, dst []int32) []int32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= gallopRatio*len(a) {
+		return gallopIntersect(a, b, dst)
+	}
+	return linearIntersect(a, b, dst)
+}
+
+// linearIntersect is the textbook two-pointer merge, O(|a|+|b|).
+func linearIntersect(a, b []int32, dst []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		switch {
+		case av < bv:
+			i++
+		case av > bv:
+			j++
+		default:
+			dst = append(dst, av)
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// gallopIntersect probes b for each element of a with exponential search
+// from the previous match position, O(|a|·log|b|) worst case and better when
+// matches cluster.
+func gallopIntersect(a, b []int32, dst []int32) []int32 {
+	lo := 0
+	for _, v := range a {
+		// Exponential probe: find a window [lo, hi) with b[hi-1] >= v.
+		step := 1
+		hi := lo
+		for hi < len(b) && b[hi] < v {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		// Binary search within the window.
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(b) {
+			return dst
+		}
+		if b[lo] == v {
+			dst = append(dst, v)
+			lo++
+		}
+	}
+	return dst
+}
+
+// IntersectCost estimates the comparison count Intersect(lists...) would
+// spend, mirroring its smallest-first pairwise strategy and per-pair
+// linear-vs-galloping choice. The scan planner uses it to weigh full
+// intersection against residual verification; it must be a pure function of
+// the list lengths so plans — and therefore metered costs — stay
+// deterministic.
+func IntersectCost(lens ...int) float64 {
+	switch len(lens) {
+	case 0, 1:
+		return 0
+	}
+	ordered := make([]int, len(lens))
+	copy(ordered, lens)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j] < ordered[j-1]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	cost := 0.0
+	small := ordered[0]
+	for _, large := range ordered[1:] {
+		if small == 0 {
+			break
+		}
+		if large >= gallopRatio*small {
+			cost += float64(small) * log2ceil(large)
+		} else {
+			cost += float64(small + large)
+		}
+		// The running result can only shrink; its true size is data-dependent,
+		// so the estimate keeps the conservative upper bound |small|.
+	}
+	return cost
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1 as a float64, without math.Log2
+// so the estimate is exact and platform-independent.
+func log2ceil(n int) float64 {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return float64(bits)
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// naiveIntersect is the oracle: map-based intersection, re-sorted.
+func naiveIntersect(lists ...[]int32) []int32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	counts := map[int32]int{}
+	for _, l := range lists {
+		for _, v := range l {
+			counts[v]++
+		}
+	}
+	var out []int32
+	for v, c := range counts {
+		if c == len(lists) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randomList(rng *rand.Rand, n, max int) []int32 {
+	seen := map[int32]bool{}
+	for len(seen) < n {
+		seen[int32(rng.Intn(max))] = true
+	}
+	out := make([]int32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestIntersectProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + rng.Intn(3)
+		lists := make([][]int32, k)
+		for i := range lists {
+			// Mix of tiny and large lists so both the galloping and linear
+			// paths are exercised.
+			n := 1 + rng.Intn(40)
+			if rng.Intn(3) == 0 {
+				n = 200 + rng.Intn(800)
+			}
+			lists[i] = randomList(rng, n, 1200)
+		}
+		got := Intersect(lists...)
+		want := naiveIntersect(lists...)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Intersect mismatch\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestIntersectPairVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		a := randomList(rng, 1+rng.Intn(30), 500)
+		b := randomList(rng, 1+rng.Intn(400), 500)
+		want := naiveIntersect(a, b)
+		lin := linearIntersect(a, b, nil)
+		gal := gallopIntersect(a, b, nil)
+		if len(b) < len(a) {
+			lin = linearIntersect(b, a, nil)
+			gal = gallopIntersect(b, a, nil)
+		}
+		if len(want) == 0 {
+			if len(lin) != 0 || len(gal) != 0 {
+				t.Fatalf("trial %d: want empty, got linear %v gallop %v", trial, lin, gal)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(lin, want) {
+			t.Fatalf("trial %d: linear mismatch: got %v want %v", trial, lin, want)
+		}
+		if !reflect.DeepEqual(gal, want) {
+			t.Fatalf("trial %d: gallop mismatch: got %v want %v", trial, gal, want)
+		}
+	}
+}
+
+func TestIntersectEdgeCases(t *testing.T) {
+	if got := Intersect(); got != nil {
+		t.Fatalf("Intersect() = %v, want nil", got)
+	}
+	one := []int32{1, 5, 9}
+	if got := Intersect(one); !reflect.DeepEqual(got, one) {
+		t.Fatalf("Intersect(one) = %v, want %v", got, one)
+	}
+	if got := Intersect(one, nil); len(got) != 0 {
+		t.Fatalf("Intersect(one, nil) = %v, want empty", got)
+	}
+	if got := Intersect([]int32{1, 2}, []int32{3, 4}); len(got) != 0 {
+		t.Fatalf("disjoint intersection = %v, want empty", got)
+	}
+	same := []int32{2, 4, 6, 8}
+	if got := Intersect(same, same, same); !reflect.DeepEqual(got, same) {
+		t.Fatalf("identical intersection = %v, want %v", got, same)
+	}
+}
+
+func TestIntersectCostDeterministicAndSane(t *testing.T) {
+	if c := IntersectCost(); c != 0 {
+		t.Fatalf("IntersectCost() = %v, want 0", c)
+	}
+	if c := IntersectCost(100); c != 0 {
+		t.Fatalf("IntersectCost(100) = %v, want 0", c)
+	}
+	// Galloping estimate beats linear once the ratio is extreme.
+	gal := IntersectCost(10, 100000)
+	lin := float64(10 + 100000)
+	if gal >= lin {
+		t.Fatalf("gallop estimate %v not cheaper than linear %v", gal, lin)
+	}
+	// Order-insensitive.
+	if IntersectCost(30, 10, 500) != IntersectCost(500, 30, 10) {
+		t.Fatal("IntersectCost is order-sensitive")
+	}
+}

@@ -49,6 +49,11 @@ func (c *DimColumn) Value(code int) string { return c.dict[code] }
 // CodeAt returns the dictionary code of the value at row i.
 func (c *DimColumn) CodeAt(i int) int32 { return c.codes[i] }
 
+// Codes returns the column's per-row dictionary codes. The returned slice is
+// shared with the column; callers must not modify it. Vectorized scan kernels
+// use it to read codes in tight loops without a per-row method call.
+func (c *DimColumn) Codes() []int32 { return c.codes }
+
 // MeasureColumn is a plain float64 measure column.
 type MeasureColumn struct {
 	Name string
@@ -57,6 +62,11 @@ type MeasureColumn struct {
 
 // At returns the value at row i.
 func (c *MeasureColumn) At(i int) float64 { return c.vals[i] }
+
+// Values returns the column's per-row values. The returned slice is shared
+// with the column; callers must not modify it. Vectorized scan kernels use it
+// to read values in tight loops without a per-row method call.
+func (c *MeasureColumn) Values() []float64 { return c.vals }
 
 // Table is an immutable columnar multi-dimensional dataset D = ⟨Dim, M⟩.
 type Table struct {

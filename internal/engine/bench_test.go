@@ -1,0 +1,129 @@
+package engine
+
+// Physical-layer benchmarks of the scan substrate: unit and augmented scans
+// across filter depth (0–3), breakdown cardinality (small/large) and scan
+// parallelism (1/4), each with the retained naive reference substrate as the
+// baseline the speedups in BENCH_5.json are measured against. Run with
+//
+//	go test ./internal/engine -bench 'BenchmarkScan' -benchmem
+//
+// The "rows/op" metric is the simulated metered row count of the plan (what
+// the cost model charges), not a throughput reading.
+
+import (
+	"fmt"
+	"testing"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+	"metainsight/internal/workload"
+)
+
+// benchTables builds the two bench datasets once per process.
+var benchTables = map[string]*dataset.Table{}
+
+func benchTable(card string) *dataset.Table {
+	if t, ok := benchTables[card]; ok {
+		return t
+	}
+	var spec workload.GenSpec
+	switch card {
+	case "small":
+		// 2880 cells × 35 rows ≈ 100k rows, breakdown cardinality 8.
+		spec = workload.GenSpec{Name: "bench-small", Seed: 61, Cards: []int{8, 6, 5}, Periods: 12, Measures: 2, RowsPerCell: 35}
+	case "large":
+		// 221k distinct cells ≈ 221k rows, breakdown cardinality 64.
+		spec = workload.GenSpec{Name: "bench-large", Seed: 67, Cards: []int{64, 24, 12}, Periods: 12, Measures: 2, RowsPerCell: 1}
+	default:
+		panic("unknown bench table " + card)
+	}
+	t := workload.Generate(spec)
+	benchTables[card] = t
+	return t
+}
+
+// benchSubspace builds a subspace with the given number of filters over the
+// non-breakdown dimensions of a generated bench table.
+func benchSubspace(tab *dataset.Table, nFilters int) model.Subspace {
+	dims := []string{"DimB", "DimC", "Period"}
+	sub := model.EmptySubspace
+	for i := 0; i < nFilters && i < len(dims); i++ {
+		col := tab.Dimension(dims[i])
+		sub = sub.With(dims[i], col.Domain()[col.Cardinality()/2])
+	}
+	return sub
+}
+
+// benchScanUnit runs one substrate configuration of BenchmarkScanUnit.
+func benchScanUnit(b *testing.B, sub Substrate, s model.Subspace) {
+	var rows int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, r, err := sub.ScanUnit(s, "DimA")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(float64(rows), "rows/op")
+}
+
+func BenchmarkScanUnit(b *testing.B) {
+	for _, card := range []string{"small", "large"} {
+		tab := benchTable(card)
+		for nf := 0; nf <= 3; nf++ {
+			s := benchSubspace(tab, nf)
+			for _, par := range []int{1, 4} {
+				vec := NewColumnarSubstrate(tab, WithScanParallelism(par))
+				b.Run(fmt.Sprintf("table=%s/filters=%d/sub=vec/par=%d", card, nf, par), func(b *testing.B) {
+					benchScanUnit(b, vec, s)
+				})
+			}
+			ref := NewReferenceSubstrate(tab, nil)
+			b.Run(fmt.Sprintf("table=%s/filters=%d/sub=ref", card, nf), func(b *testing.B) {
+				benchScanUnit(b, ref, s)
+			})
+		}
+	}
+}
+
+// benchScanAugmented runs one substrate configuration of
+// BenchmarkScanAugmented.
+func benchScanAugmented(b *testing.B, sub Substrate, s model.Subspace, ext string) {
+	var rows int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, r, err := sub.ScanAugmented(s, "DimA", ext)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(float64(rows), "rows/op")
+}
+
+func BenchmarkScanAugmented(b *testing.B) {
+	for _, card := range []string{"small", "large"} {
+		tab := benchTable(card)
+		for _, nf := range []int{0, 1, 2} {
+			// Filters go on DimB/DimC; the augmentation dimension is Period,
+			// so the base subspace never filters the ext dimension.
+			dims := []string{"DimB", "DimC"}
+			s := model.EmptySubspace
+			for i := 0; i < nf; i++ {
+				col := tab.Dimension(dims[i])
+				s = s.With(dims[i], col.Domain()[col.Cardinality()/2])
+			}
+			for _, par := range []int{1, 4} {
+				vec := NewColumnarSubstrate(tab, WithScanParallelism(par))
+				b.Run(fmt.Sprintf("table=%s/filters=%d/sub=vec/par=%d", card, nf, par), func(b *testing.B) {
+					benchScanAugmented(b, vec, s, "Period")
+				})
+			}
+			ref := NewReferenceSubstrate(tab, nil)
+			b.Run(fmt.Sprintf("table=%s/filters=%d/sub=ref", card, nf), func(b *testing.B) {
+				benchScanAugmented(b, ref, s, "Period")
+			})
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// unitJSON canonicalizes a unit for byte comparison. encoding/json sorts map
+// keys, so equal units marshal to equal bytes; float64 formatting is exact
+// (shortest round-trip), so any bit difference in an aggregate shows up.
+func unitJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// augJSON canonicalizes an augmented-scan result for byte comparison.
+func augJSON(t *testing.T, units map[string]any) string {
+	t.Helper()
+	keys := make([]string, 0, len(units))
+	for k := range units {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + unitJSON(t, units[k]) + ";"
+	}
+	return s
+}
+
+// diffSubstrates enumerates every physical configuration of the vectorized
+// substrate the differential test compares against the reference: each plan
+// mode crossed with parallelism 1/2/8 and pooled vs fresh accumulators, all
+// with a small morsel size so multi-morsel merging happens on test-sized
+// tables.
+func diffSubstrates(tab *dataset.Table, minMax map[string]bool) map[string]*ColumnarSubstrate {
+	subs := make(map[string]*ColumnarSubstrate)
+	for _, mode := range []struct {
+		name string
+		m    PlanMode
+	}{{"auto", PlanAuto}, {"intersect", PlanIntersect}, {"residual", PlanResidual}} {
+		for _, par := range []int{1, 2, 8} {
+			for _, pool := range []bool{true, false} {
+				opts := []ColumnarOption{
+					WithPlanMode(mode.m),
+					WithScanParallelism(par),
+					WithMorselSize(64),
+					WithMinMaxColumns(minMax),
+				}
+				if !pool {
+					opts = append(opts, WithoutAccumulatorPool())
+				}
+				name := fmt.Sprintf("%s/par%d/pool=%v", mode.name, par, pool)
+				subs[name] = NewColumnarSubstrate(tab, opts...)
+			}
+		}
+	}
+	return subs
+}
+
+// randomSubspace draws a subspace of the given filter depth; values are drawn
+// from the dimension's domain, or occasionally set to an absent value to hit
+// the no-matching-rows plan.
+func randomSubspace(r *rand.Rand, tab *dataset.Table, depth int) model.Subspace {
+	dims := tab.DimensionNames()
+	sub := model.EmptySubspace
+	for d := 0; d < depth; d++ {
+		dim := tab.Dimension(dims[r.Intn(len(dims))])
+		if sub.Has(dim.Name) {
+			continue
+		}
+		if r.Intn(10) == 0 {
+			sub = sub.With(dim.Name, "___absent___")
+		} else {
+			sub = sub.With(dim.Name, dim.Domain()[r.Intn(dim.Cardinality())])
+		}
+	}
+	return sub
+}
+
+// TestDifferentialScanUnit proves every physical configuration of the
+// vectorized substrate produces byte-identical units to the retained naive
+// reference scan. The random table's measures are integer-valued, so sums are
+// exact and the comparison is insensitive to the (intentionally different)
+// addition order of the morselized pipeline.
+func TestDifferentialScanUnit(t *testing.T) {
+	tab := randomTable(41, 700)
+	for _, minMax := range []map[string]bool{nil, {"Sales": true}, {}} {
+		ref := NewReferenceSubstrate(tab, minMax)
+		subs := diffSubstrates(tab, minMax)
+		r := rand.New(rand.NewSource(5))
+		dims := tab.DimensionNames()
+		for trial := 0; trial < 60; trial++ {
+			sub := randomSubspace(r, tab, r.Intn(4))
+			breakdown := dims[r.Intn(len(dims))]
+			if sub.Has(breakdown) {
+				continue
+			}
+			wantU, wantRows, err := ref.ScanUnit(sub, breakdown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := unitJSON(t, wantU)
+			for name, c := range subs {
+				gotU, gotRows, err := c.ScanUnit(sub, breakdown)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := unitJSON(t, gotU); got != want {
+					t.Fatalf("trial %d %s [%s ⟂ %s]: unit mismatch\n got %s\nwant %s",
+						trial, name, sub.Key(), breakdown, got, want)
+				}
+				// Intersection may visit fewer rows than the reference's
+				// most-selective-list drive; it must never visit more, and the
+				// substrate's own prediction must be exact.
+				if gotRows > wantRows {
+					t.Fatalf("trial %d %s: scanned %d rows, reference scanned %d",
+						trial, name, gotRows, wantRows)
+				}
+				if pr := c.PlannedRows(sub); pr != gotRows {
+					t.Fatalf("trial %d %s: PlannedRows %d != scanned %d", trial, name, pr, gotRows)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialScanAugmented is TestDifferentialScanUnit for the augmented
+// scan path, including the per-ext-value unit splitting.
+func TestDifferentialScanAugmented(t *testing.T) {
+	tab := randomTable(43, 700)
+	ref := NewReferenceSubstrate(tab, nil)
+	subs := diffSubstrates(tab, nil)
+	r := rand.New(rand.NewSource(9))
+	dims := tab.DimensionNames()
+	for trial := 0; trial < 40; trial++ {
+		sub := randomSubspace(r, tab, r.Intn(3))
+		breakdown := dims[r.Intn(len(dims))]
+		ext := dims[r.Intn(len(dims))]
+		if ext == breakdown || sub.Has(breakdown) {
+			continue
+		}
+		base := sub.Without(ext)
+		wantUnits, wantRows, err := ref.ScanAugmented(base, breakdown, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm := make(map[string]any, len(wantUnits))
+		for k, u := range wantUnits {
+			wm[k] = u
+		}
+		want := augJSON(t, wm)
+		for name, c := range subs {
+			gotUnits, gotRows, err := c.ScanAugmented(base, breakdown, ext)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm := make(map[string]any, len(gotUnits))
+			for k, u := range gotUnits {
+				gm[k] = u
+			}
+			if got := augJSON(t, gm); got != want {
+				t.Fatalf("trial %d %s [%s ⟂ %s +%s]: augmented mismatch\n got %s\nwant %s",
+					trial, name, base.Key(), breakdown, ext, got, want)
+			}
+			if gotRows > wantRows {
+				t.Fatalf("trial %d %s: scanned %d rows, reference scanned %d", trial, name, gotRows, wantRows)
+			}
+		}
+	}
+}
+
+// TestDifferentialFractionalParallelism checks bit-identity where it is
+// actually promised for arbitrary floats: for a fixed plan mode and morsel
+// size, every parallelism and pooling choice produces the same bits, because
+// morsel boundaries and merge order are fixed. (Cross-plan-mode identity for
+// fractional values is not promised — different row orders regroup float
+// additions — which is exactly why the mode is pinned per configuration
+// here.)
+func TestDifferentialFractionalParallelism(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	b := dataset.NewBuilder("frac", []model.Field{
+		{Name: "G", Kind: model.KindCategorical},
+		{Name: "H", Kind: model.KindCategorical},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	for i := 0; i < 1000; i++ {
+		b.AddRow([]string{
+			fmt.Sprintf("g%d", r.Intn(7)),
+			fmt.Sprintf("h%d", r.Intn(5)),
+		}, []float64{r.NormFloat64() * 1e3})
+	}
+	tab := b.Build()
+
+	for _, mode := range []PlanMode{PlanIntersect, PlanResidual} {
+		var want string
+		for _, par := range []int{1, 2, 8} {
+			for _, pool := range []bool{true, false} {
+				opts := []ColumnarOption{
+					WithPlanMode(mode), WithScanParallelism(par), WithMorselSize(64),
+				}
+				if !pool {
+					opts = append(opts, WithoutAccumulatorPool())
+				}
+				c := NewColumnarSubstrate(tab, opts...)
+				sub := model.NewSubspace(model.Filter{Dim: "H", Value: "h1"})
+				u, _, err := c.ScanUnit(sub, "G")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := unitJSON(t, u)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("mode %v par %d pool %v: fractional bits differ\n got %s\nwant %s",
+						mode, par, pool, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialEdgeCases pins the plan edge semantics: an absent filter
+// value scans zero rows and yields an empty unit; a filter matching no rows
+// on one ext value yields no unit for that value.
+func TestDifferentialEdgeCases(t *testing.T) {
+	tab := randomTable(47, 200)
+	c := NewColumnarSubstrate(tab, WithMorselSize(32))
+	ref := NewReferenceSubstrate(tab, nil)
+
+	sub := model.NewSubspace(model.Filter{Dim: "City", Value: "Atlantis"})
+	u, rows, err := c.ScanUnit(sub, "Month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 0 || len(u.GroupKeys) != 0 {
+		t.Fatalf("absent value: rows=%d groups=%d, want 0/0", rows, len(u.GroupKeys))
+	}
+	ru, rrows, _ := ref.ScanUnit(sub, "Month")
+	if rrows != 0 || unitJSON(t, u) != unitJSON(t, ru) {
+		t.Fatalf("absent value: reference disagrees (rows=%d)", rrows)
+	}
+	if pr := c.PlannedRows(sub); pr != 0 {
+		t.Fatalf("absent value: PlannedRows=%d, want 0", pr)
+	}
+
+	// Multi-filter subspace whose intersection is empty but whose individual
+	// posting lists are not.
+	b := dataset.NewBuilder("e", []model.Field{
+		{Name: "A", Kind: model.KindCategorical},
+		{Name: "B", Kind: model.KindCategorical},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	b.AddRow([]string{"a1", "b1"}, []float64{1})
+	b.AddRow([]string{"a2", "b2"}, []float64{2})
+	tab2 := b.Build()
+	for _, mode := range []PlanMode{PlanIntersect, PlanResidual} {
+		c2 := NewColumnarSubstrate(tab2, WithPlanMode(mode))
+		disjoint := model.NewSubspace(
+			model.Filter{Dim: "A", Value: "a1"},
+			model.Filter{Dim: "B", Value: "b2"},
+		)
+		u2, _, err := c2.ScanUnit(disjoint, "A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(u2.GroupKeys) != 0 {
+			t.Fatalf("mode %v: disjoint filters produced groups %v", mode, u2.GroupKeys)
+		}
+		ref2 := NewReferenceSubstrate(tab2, nil)
+		ru2, _, _ := ref2.ScanUnit(disjoint, "A")
+		if unitJSON(t, u2) != unitJSON(t, ru2) {
+			t.Fatalf("mode %v: disjoint unit differs from reference", mode)
+		}
+	}
+}

@@ -169,6 +169,18 @@ type Config struct {
 	Cost CostModel
 	// Meter receives cost and query accounting; nil creates a fresh meter.
 	Meter *Meter
+	// ExtraMeasures lists measures that are not part of the mined measure set
+	// M but will be queried against this engine (e.g. the secondary measures
+	// of registered correlation evaluators, or a custom evaluator's declared
+	// Requires set). They participate in the needed-aggregate derivation for
+	// the default substrate: MIN/MAX accumulators are materialized only for
+	// measure columns some measure in Measures ∪ ExtraMeasures ∪
+	// {ImpactMeasure} actually aggregates with AggMin/AggMax.
+	ExtraMeasures []model.Measure
+	// ScanParallelism is how many goroutines one scan of the default substrate
+	// may use (0 or 1 = sequential). Results are bit-identical for any value;
+	// see WithScanParallelism. Ignored when Substrate is set explicitly.
+	ScanParallelism int
 	// Observer, when non-nil, receives physical execution metrics
 	// ("engine.physical.*": scans actually performed and rows actually
 	// visited, counted via atomics on every scan path). Physical counts
@@ -211,7 +223,22 @@ func New(tab *dataset.Table, cfg Config) (*Engine, error) {
 		cfg.Meter = &Meter{}
 	}
 	if cfg.Substrate == nil {
-		cfg.Substrate = NewColumnarSubstrate(tab)
+		// Derive the needed-aggregate set: MIN/MAX arrays are materialized
+		// only for columns some declared measure aggregates that way. The set
+		// is non-nil (possibly empty) so undeclared MIN/MAX queries surface as
+		// "unit lacks column" rather than silently paying for every column.
+		need := make(map[string]bool)
+		for _, ms := range [][]model.Measure{cfg.Measures, cfg.ExtraMeasures, {cfg.ImpactMeasure}} {
+			for _, m := range ms {
+				if m.Agg == model.AggMin || m.Agg == model.AggMax {
+					need[m.Column] = true
+				}
+			}
+		}
+		cfg.Substrate = NewColumnarSubstrate(tab,
+			WithMinMaxColumns(need),
+			WithScanParallelism(cfg.ScanParallelism),
+			WithScanObserver(cfg.Observer))
 	}
 	e := &Engine{
 		tab:      tab,
@@ -225,6 +252,11 @@ func New(tab *dataset.Table, cfg Config) (*Engine, error) {
 		inj:      cfg.Faults,
 	}
 	for _, m := range cfg.Measures {
+		if err := e.checkMeasure(m); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range cfg.ExtraMeasures {
 		if err := e.checkMeasure(m); err != nil {
 			return nil, err
 		}
@@ -553,20 +585,30 @@ func (e *Engine) MaterializeAugmented(ds model.DataScope, d string) (map[string]
 
 // ScanCost returns the metered cost a unit scan under subspace s would be
 // charged, without scanning: the per-query overhead plus the per-row cost of
-// the rows the scan plan would visit (the full table when s is unfiltered,
-// otherwise the most selective filter's posting list — see scanPlan). The
-// cost of a scan depends only on the subspace, not the breakdown, and an
-// augmented scan of base subspace b costs exactly ScanCost(b).
+// the rows the scan plan would visit. When the substrate is a RowPlanner
+// (ColumnarSubstrate is), the exact planned row count is used, so the
+// analytic cost agrees bit for bit with what the scan will meter — including
+// when posting-list intersection shrinks the row set below any single
+// filter's posting list. Other substrates fall back to the legacy estimate:
+// the full table when s is unfiltered, otherwise the most selective filter's
+// posting list. The cost of a scan depends only on the subspace, not the
+// breakdown, and an augmented scan of base subspace b costs exactly
+// ScanCost(b).
 func (e *Engine) ScanCost(s model.Subspace) float64 {
-	scanned := e.tab.Rows()
-	if len(s) > 0 {
-		best := e.tab.Rows() + 1
-		for _, f := range resolveFilters(e.tab, s) {
-			if l := len(f.col.Postings(int(f.code))); l < best {
-				best = l
+	var scanned int
+	if rp, ok := e.sub.(RowPlanner); ok {
+		scanned = rp.PlannedRows(s)
+	} else {
+		scanned = e.tab.Rows()
+		if len(s) > 0 {
+			best := e.tab.Rows() + 1
+			for _, f := range resolveFilters(e.tab, s) {
+				if l := len(f.col.Postings(int(f.code))); l < best {
+					best = l
+				}
 			}
+			scanned = best
 		}
-		scanned = best
 	}
 	return e.cost.PerQuery + e.cost.PerRow*float64(scanned)
 }

@@ -36,7 +36,13 @@ func randomTable(seed int64, rows int) *dataset.Table {
 
 func newEngine(t *testing.T, tab *dataset.Table, qcEnabled bool) *Engine {
 	t.Helper()
-	e, err := New(tab, Config{QueryCache: cache.NewQueryCache(qcEnabled)})
+	// Tests query MIN/MAX ad hoc, so declare them over every measure column;
+	// production callers declare only what registered evaluators need.
+	var extras []model.Measure
+	for _, mc := range tab.MeasureColumns() {
+		extras = append(extras, model.Min(mc.Name), model.Max(mc.Name))
+	}
+	e, err := New(tab, Config{QueryCache: cache.NewQueryCache(qcEnabled), ExtraMeasures: extras})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,407 @@
+package engine
+
+// Fused aggregation kernels and the morsel-parallel scan driver behind
+// ColumnarSubstrate. One scan proceeds in three stages, each a tight loop
+// over flat slices with no closure captures:
+//
+//  1. selection — the plan's driving rows for the morsel, filtered by any
+//     residual filters into a selection vector of row ids;
+//  2. group ids — one gather computing each selected row's accumulator cell;
+//  3. aggregation — one pass per measure column: count/sum always, min/max
+//     fused into the same loop only for measure columns in the
+//     needed-aggregate set (first-touch initialization, so there is no
+//     O(cells) ±Inf fill).
+//
+// The driving row set is split into fixed-size morsels. Each morsel
+// accumulates into its own (pooled) accumulator; partials are merged into
+// the scan's result strictly in morsel-index order. Because the morsel
+// boundaries depend only on the morsel size and the driving row count, and
+// the merge order is fixed, every float addition has the same grouping at
+// any parallelism — scan results are bit-identical for WithScanParallelism 1
+// or 16. Scans whose driving set fits one morsel skip partials and merge
+// entirely.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"metainsight/internal/cache"
+)
+
+// scanAcc is one accumulator set: full-domain counts and per-measure sums
+// (always), min/max arrays for needed measures only, the first-touch group
+// list, and reusable selection/group-id scratch. Instances are pooled per
+// substrate (see acquire/release).
+type scanAcc struct {
+	cells   int
+	counts  []float64
+	sums    [][]float64
+	mins    [][]float64 // nil per measure when min/max is not needed
+	maxs    [][]float64
+	touched []int32 // cells first touched by this accumulator, in touch order
+	gids    []int32 // scratch: group id per selected row
+	sel     []int32 // scratch: selection vector under residual filters
+}
+
+// acquire returns a zeroed accumulator sized for cells, reusing a pooled one
+// when available. counts and sums are zero-filled; min/max arrays hold
+// garbage outside touched cells by design — they are initialized at first
+// touch and only ever read for cells with a non-zero count.
+func (c *ColumnarSubstrate) acquire(cells int) *scanAcc {
+	var a *scanAcc
+	if !c.noPool {
+		if v := c.pool.Get(); v != nil {
+			a = v.(*scanAcc)
+		}
+	}
+	if a == nil {
+		a = &scanAcc{
+			sums: make([][]float64, len(c.mcols)),
+			mins: make([][]float64, len(c.mcols)),
+			maxs: make([][]float64, len(c.mcols)),
+		}
+	}
+	a.cells = cells
+	a.counts = growFloats(a.counts, cells)
+	zeroFloats(a.counts)
+	for i := range c.mcols {
+		a.sums[i] = growFloats(a.sums[i], cells)
+		zeroFloats(a.sums[i])
+		if c.needMM[i] {
+			a.mins[i] = growFloats(a.mins[i], cells)
+			a.maxs[i] = growFloats(a.maxs[i], cells)
+		}
+	}
+	a.touched = a.touched[:0]
+	return a
+}
+
+// release returns an accumulator to the pool (a no-op without pooling).
+func (c *ColumnarSubstrate) release(a *scanAcc) {
+	if c.noPool || a == nil {
+		return
+	}
+	c.pool.Put(a)
+}
+
+// resetTouched re-zeroes exactly the cells this accumulator touched, making
+// it reusable for the next morsel in O(touched · measures) instead of
+// O(cells · measures).
+func (a *scanAcc) resetTouched() {
+	for _, g := range a.touched {
+		a.counts[g] = 0
+		for i := range a.sums {
+			a.sums[i][g] = 0
+		}
+	}
+	a.touched = a.touched[:0]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// scan executes the plan into one accumulator of the given cell count.
+// dcodes is nil for unit scans; for augmented scans the cell of row r is
+// dcodes[r]*bcard + bcodes[r].
+func (c *ColumnarSubstrate) scan(plan *scanPlan, bcodes, dcodes []int32, bcard, cells int) *scanAcc {
+	n := plan.rows
+	global := c.acquire(cells)
+	if n == 0 {
+		return global
+	}
+	nm := (n + c.morsel - 1) / c.morsel
+	c.obs.Count("engine.physical.morsels", int64(nm))
+	if nm == 1 {
+		c.processMorsel(plan, 0, n, bcodes, dcodes, bcard, global)
+		return global
+	}
+
+	par := c.par
+	if par > nm {
+		par = nm
+	}
+	if par <= 1 {
+		// Sequential multi-morsel: one reusable partial, merged after each
+		// morsel — the identical boundaries and merge order as the parallel
+		// path, so results are bit-identical at any parallelism.
+		m := c.acquire(cells)
+		for mi := 0; mi < nm; mi++ {
+			lo := mi * c.morsel
+			hi := lo + c.morsel
+			if hi > n {
+				hi = n
+			}
+			c.processMorsel(plan, lo, hi, bcodes, dcodes, bcard, m)
+			c.mergeAcc(global, m)
+			m.resetTouched()
+		}
+		c.release(m)
+		return global
+	}
+
+	accs := make([]*scanAcc, nm)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mi := int(next.Add(1)) - 1
+				if mi >= nm {
+					return
+				}
+				a := c.acquire(cells)
+				lo := mi * c.morsel
+				hi := lo + c.morsel
+				if hi > n {
+					hi = n
+				}
+				c.processMorsel(plan, lo, hi, bcodes, dcodes, bcard, a)
+				accs[mi] = a
+			}
+		}()
+	}
+	wg.Wait()
+	for _, a := range accs {
+		c.mergeAcc(global, a)
+		c.release(a)
+	}
+	return global
+}
+
+// processMorsel runs the three kernel stages for driving positions [lo, hi)
+// into acc.
+func (c *ColumnarSubstrate) processMorsel(plan *scanPlan, lo, hi int, bcodes, dcodes []int32, bcard int, acc *scanAcc) {
+	n := hi - lo
+
+	// Stage 1: selection. Contiguous full-table morsels skip the vector and
+	// address rows [lo, hi) directly; intersection plans drive their exact
+	// row list; residual plans filter the driving slice into acc.sel.
+	var sel []int32
+	contiguous := false
+	switch {
+	case plan.full:
+		contiguous = true
+	case len(plan.rest) == 0:
+		sel = plan.drive[lo:hi]
+	default:
+		if cap(acc.sel) < n {
+			acc.sel = make([]int32, 0, n)
+		}
+		acc.sel = acc.sel[:0]
+		for _, r := range plan.drive[lo:hi] {
+			keep := true
+			for _, f := range plan.rest {
+				if f.codes[r] != f.code {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				acc.sel = append(acc.sel, r)
+			}
+		}
+		sel = acc.sel
+	}
+
+	// Stage 2: group ids.
+	m := n
+	if !contiguous {
+		m = len(sel)
+	}
+	if m == 0 {
+		return
+	}
+	acc.gids = growInt32(acc.gids, m)
+	gids := acc.gids[:m]
+	switch {
+	case contiguous && dcodes == nil:
+		copy(gids, bcodes[lo:hi])
+	case contiguous:
+		bc := bcodes[lo:hi]
+		dc := dcodes[lo:hi]
+		for i := range bc {
+			gids[i] = dc[i]*int32(bcard) + bc[i]
+		}
+	case dcodes == nil:
+		for i, r := range sel {
+			gids[i] = bcodes[r]
+		}
+	default:
+		for i, r := range sel {
+			gids[i] = dcodes[r]*int32(bcard) + bcodes[r]
+		}
+	}
+
+	// Stage 3a: counts plus first-touch tracking.
+	counts := acc.counts
+	touchBase := len(acc.touched)
+	for _, g := range gids {
+		if counts[g] == 0 {
+			acc.touched = append(acc.touched, g)
+		}
+		counts[g]++
+	}
+	newTouched := acc.touched[touchBase:]
+
+	// Stage 3b: one fused pass per measure column.
+	for i, vals := range c.mvals {
+		sums := acc.sums[i]
+		if !c.needMM[i] {
+			if contiguous {
+				v := vals[lo:hi]
+				for j, g := range gids {
+					sums[g] += v[j]
+				}
+			} else {
+				for j, r := range sel {
+					sums[gids[j]] += vals[r]
+				}
+			}
+			continue
+		}
+		mins, maxs := acc.mins[i], acc.maxs[i]
+		for _, g := range newTouched {
+			mins[g] = math.Inf(1)
+			maxs[g] = math.Inf(-1)
+		}
+		if contiguous {
+			v := vals[lo:hi]
+			for j, g := range gids {
+				x := v[j]
+				sums[g] += x
+				if x < mins[g] {
+					mins[g] = x
+				}
+				if x > maxs[g] {
+					maxs[g] = x
+				}
+			}
+		} else {
+			for j, r := range sel {
+				g := gids[j]
+				x := vals[r]
+				sums[g] += x
+				if x < mins[g] {
+					mins[g] = x
+				}
+				if x > maxs[g] {
+					maxs[g] = x
+				}
+			}
+		}
+	}
+}
+
+// mergeAcc folds one morsel partial into the scan result, touching only the
+// cells the morsel populated. Callers invoke it in morsel-index order; that
+// fixed order is the parallelism-invariance argument for float sums.
+func (c *ColumnarSubstrate) mergeAcc(global, m *scanAcc) {
+	for _, g := range m.touched {
+		if global.counts[g] == 0 {
+			global.touched = append(global.touched, g)
+			for i := range c.mcols {
+				if c.needMM[i] {
+					global.mins[i][g] = math.Inf(1)
+					global.maxs[i][g] = math.Inf(-1)
+				}
+			}
+		}
+		global.counts[g] += m.counts[g]
+		for i := range c.mcols {
+			global.sums[i][g] += m.sums[i][g]
+			if c.needMM[i] {
+				if m.mins[i][g] < global.mins[i][g] {
+					global.mins[i][g] = m.mins[i][g]
+				}
+				if m.maxs[i][g] > global.maxs[i][g] {
+					global.maxs[i][g] = m.maxs[i][g]
+				}
+			}
+		}
+	}
+}
+
+// buildUnitSlice compresses the accumulator cells [lo, lo+n) into a unit
+// holding only the non-empty groups. All per-group float columns of the unit
+// share one slab allocation, and min/max columns exist only for measures in
+// the needed-aggregate set — the "leaner buildUnit" that removes the
+// per-unit map churn the augmented path used to pay per ext value.
+func (c *ColumnarSubstrate) buildUnitSlice(subspaceKey, breakdown string, domain []string, acc *scanAcc, lo, n int) *cache.Unit {
+	counts := acc.counts[lo : lo+n]
+	nonEmpty := 0
+	for _, v := range counts {
+		if v > 0 {
+			nonEmpty++
+		}
+	}
+	nmeas := len(c.mcols)
+	slab := make([]float64, nonEmpty*(1+nmeas+2*c.nmm))
+	next := func() []float64 {
+		s := slab[:nonEmpty:nonEmpty]
+		slab = slab[nonEmpty:]
+		return s
+	}
+	u := &cache.Unit{
+		Key:       cache.UnitKey{Subspace: subspaceKey, Breakdown: breakdown},
+		GroupKeys: make([]string, nonEmpty),
+		Counts:    next(),
+		Sums:      make(map[string][]float64, nmeas),
+		Mins:      make(map[string][]float64, c.nmm),
+		Maxs:      make(map[string][]float64, c.nmm),
+	}
+	sumCols := make([][]float64, nmeas)
+	minCols := make([][]float64, nmeas)
+	maxCols := make([][]float64, nmeas)
+	for i := range c.mcols {
+		sumCols[i] = next()
+		if c.needMM[i] {
+			minCols[i] = next()
+			maxCols[i] = next()
+		}
+	}
+	idx := 0
+	for g, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		u.GroupKeys[idx] = domain[g]
+		u.Counts[idx] = cnt
+		cell := lo + g
+		for i := range c.mcols {
+			sumCols[i][idx] = acc.sums[i][cell]
+			if c.needMM[i] {
+				minCols[i][idx] = acc.mins[i][cell]
+				maxCols[i][idx] = acc.maxs[i][cell]
+			}
+		}
+		idx++
+	}
+	for i, mc := range c.mcols {
+		u.Sums[mc.Name] = sumCols[i]
+		if c.needMM[i] {
+			u.Mins[mc.Name] = minCols[i]
+			u.Maxs[mc.Name] = maxCols[i]
+		}
+	}
+	return u
+}

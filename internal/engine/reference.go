@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"math"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
+)
+
+// ReferenceSubstrate is the retained naive scan: a row-at-a-time accumulate
+// closure driving off the most selective filter's posting list, verifying the
+// remaining filters per row, with freshly allocated full-domain accumulators
+// per scan. It is the executable specification the vectorized
+// ColumnarSubstrate is differentially tested against, and the baseline the
+// bench harness measures speedups over. Not used on any production path.
+//
+// To produce byte-comparable units it accepts the same needed-aggregate set
+// as the vectorized substrate (nil = min/max for every measure). Note its
+// row-order accumulation only matches the morselized pipeline bit for bit
+// when sums are exact (e.g. integer-valued measures) or the scan fits one
+// morsel; see the differential tests.
+type ReferenceSubstrate struct {
+	tab    *dataset.Table
+	minMax map[string]bool
+}
+
+// NewReferenceSubstrate creates the naive reference scan over tab. minMax
+// restricts which measure columns carry min/max aggregates (nil = all),
+// mirroring WithMinMaxColumns.
+func NewReferenceSubstrate(tab *dataset.Table, minMax map[string]bool) *ReferenceSubstrate {
+	return &ReferenceSubstrate{tab: tab, minMax: minMax}
+}
+
+// refPlan is the legacy strategy: drive the most selective filter's posting
+// list, verify the rest per row.
+func refPlan(tab *dataset.Table, filters []filterSpec) (drive []int32, rest []filterSpec) {
+	if len(filters) == 0 {
+		return nil, nil
+	}
+	best := -1
+	bestLen := tab.Rows() + 1
+	for i, f := range filters {
+		if l := len(f.col.Postings(int(f.code))); l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	drive = filters[best].col.Postings(int(filters[best].code))
+	rest = make([]filterSpec, 0, len(filters)-1)
+	rest = append(rest, filters[:best]...)
+	rest = append(rest, filters[best+1:]...)
+	return drive, rest
+}
+
+// ScanUnit implements Substrate with the naive per-row scan.
+func (c *ReferenceSubstrate) ScanUnit(s model.Subspace, breakdown string) (*cache.Unit, int, error) {
+	bcol := c.tab.Dimension(breakdown)
+	card := bcol.Cardinality()
+	filters := resolveFilters(c.tab, s)
+	mcols := c.tab.MeasureColumns()
+
+	counts, sums, mins, maxs := refAlloc(card, len(mcols))
+	drive, rest := refPlan(c.tab, filters)
+	scanned := 0
+	accumulate := func(r int) {
+		for _, f := range rest {
+			if f.col.CodeAt(r) != f.code {
+				return
+			}
+		}
+		g := bcol.CodeAt(r)
+		counts[g]++
+		for i, mc := range mcols {
+			v := mc.At(r)
+			sums[i][g] += v
+			if v < mins[i][g] {
+				mins[i][g] = v
+			}
+			if v > maxs[i][g] {
+				maxs[i][g] = v
+			}
+		}
+	}
+	if drive == nil && len(filters) > 0 {
+		drive = []int32{} // non-empty subspace with an absent value: no rows
+	}
+	if len(filters) == 0 {
+		scanned = c.tab.Rows()
+		for r := 0; r < scanned; r++ {
+			accumulate(r)
+		}
+	} else {
+		scanned = len(drive)
+		for _, r := range drive {
+			accumulate(int(r))
+		}
+	}
+
+	return c.refBuildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs), scanned, nil
+}
+
+// ScanAugmented implements Substrate with the naive per-row scan.
+func (c *ReferenceSubstrate) ScanAugmented(base model.Subspace, breakdown, ext string) (map[string]*cache.Unit, int, error) {
+	bcol := c.tab.Dimension(breakdown)
+	dcol := c.tab.Dimension(ext)
+	bcard, dcard := bcol.Cardinality(), dcol.Cardinality()
+	filters := resolveFilters(c.tab, base)
+	mcols := c.tab.MeasureColumns()
+
+	counts, sums, mins, maxs := refAlloc(bcard*dcard, len(mcols))
+	drive, rest := refPlan(c.tab, filters)
+	scanned := 0
+	accumulate := func(r int) {
+		for _, f := range rest {
+			if f.col.CodeAt(r) != f.code {
+				return
+			}
+		}
+		g := int(dcol.CodeAt(r))*bcard + int(bcol.CodeAt(r))
+		counts[g]++
+		for i, mc := range mcols {
+			v := mc.At(r)
+			sums[i][g] += v
+			if v < mins[i][g] {
+				mins[i][g] = v
+			}
+			if v > maxs[i][g] {
+				maxs[i][g] = v
+			}
+		}
+	}
+	if drive == nil && len(filters) > 0 {
+		drive = []int32{}
+	}
+	if len(filters) == 0 {
+		scanned = c.tab.Rows()
+		for r := 0; r < scanned; r++ {
+			accumulate(r)
+		}
+	} else {
+		scanned = len(drive)
+		for _, r := range drive {
+			accumulate(int(r))
+		}
+	}
+
+	units := make(map[string]*cache.Unit, dcard)
+	bdomain := bcol.Domain()
+	for dv := 0; dv < dcard; dv++ {
+		lo, hi := dv*bcard, (dv+1)*bcard
+		sub := base.With(ext, dcol.Value(dv))
+		colSums := make([][]float64, len(mcols))
+		colMins := make([][]float64, len(mcols))
+		colMaxs := make([][]float64, len(mcols))
+		for i := range mcols {
+			colSums[i] = sums[i][lo:hi]
+			colMins[i] = mins[i][lo:hi]
+			colMaxs[i] = maxs[i][lo:hi]
+		}
+		u := c.refBuildUnit(sub.Key(), breakdown, bdomain, counts[lo:hi], mcols, colSums, colMins, colMaxs)
+		if len(u.GroupKeys) > 0 {
+			units[dcol.Value(dv)] = u
+		}
+	}
+	return units, scanned, nil
+}
+
+// refAlloc allocates fresh full-domain accumulators with the historical
+// everything-initialized layout (min/max ±Inf-filled for every measure).
+func refAlloc(cells, nmeas int) (counts []float64, sums, mins, maxs [][]float64) {
+	counts = make([]float64, cells)
+	sums = make([][]float64, nmeas)
+	mins = make([][]float64, nmeas)
+	maxs = make([][]float64, nmeas)
+	for i := 0; i < nmeas; i++ {
+		sums[i] = make([]float64, cells)
+		mins[i] = make([]float64, cells)
+		maxs[i] = make([]float64, cells)
+		for g := 0; g < cells; g++ {
+			mins[i][g] = math.Inf(1)
+			maxs[i][g] = math.Inf(-1)
+		}
+	}
+	return counts, sums, mins, maxs
+}
+
+// refBuildUnit compresses full-domain accumulator arrays into a unit holding
+// only the non-empty groups, emitting min/max columns per the substrate's
+// needed-aggregate set.
+func (c *ReferenceSubstrate) refBuildUnit(subspaceKey, breakdown string, domain []string, counts []float64,
+	mcols []*dataset.MeasureColumn, sums, mins, maxs [][]float64) *cache.Unit {
+
+	nonEmpty := 0
+	for _, v := range counts {
+		if v > 0 {
+			nonEmpty++
+		}
+	}
+	u := &cache.Unit{
+		Key:       cache.UnitKey{Subspace: subspaceKey, Breakdown: breakdown},
+		GroupKeys: make([]string, 0, nonEmpty),
+		Counts:    make([]float64, 0, nonEmpty),
+		Sums:      make(map[string][]float64, len(mcols)),
+		Mins:      make(map[string][]float64, len(mcols)),
+		Maxs:      make(map[string][]float64, len(mcols)),
+	}
+	for _, mc := range mcols {
+		u.Sums[mc.Name] = make([]float64, 0, nonEmpty)
+		if c.minMax == nil || c.minMax[mc.Name] {
+			u.Mins[mc.Name] = make([]float64, 0, nonEmpty)
+			u.Maxs[mc.Name] = make([]float64, 0, nonEmpty)
+		}
+	}
+	for g, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		u.GroupKeys = append(u.GroupKeys, domain[g])
+		u.Counts = append(u.Counts, cnt)
+		for i, mc := range mcols {
+			u.Sums[mc.Name] = append(u.Sums[mc.Name], sums[i][g])
+			if c.minMax == nil || c.minMax[mc.Name] {
+				u.Mins[mc.Name] = append(u.Mins[mc.Name], mins[i][g])
+				u.Maxs[mc.Name] = append(u.Maxs[mc.Name], maxs[i][g])
+			}
+		}
+	}
+	return u
+}

@@ -1,11 +1,12 @@
 package engine
 
 import (
-	"math"
+	"sync"
 
 	"metainsight/internal/cache"
 	"metainsight/internal/dataset"
 	"metainsight/internal/model"
+	"metainsight/internal/obs"
 )
 
 // Substrate is the physical scan layer behind the engine: the component that
@@ -32,6 +33,18 @@ type Substrate interface {
 	ScanAugmented(base model.Subspace, breakdown, ext string) (map[string]*cache.Unit, int, error)
 }
 
+// RowPlanner is implemented by substrates that can predict, without scanning,
+// exactly how many rows a unit scan under a subspace will visit. The engine's
+// analytic ScanCost — the single cost authority shared by the metered query
+// paths and the miner's canonical commit-order accounting — consults it so
+// that predicted and metered costs agree bit for bit even when the physical
+// plan (posting-list intersection vs residual verification) changes the row
+// count. Substrates without it fall back to the most-selective-posting-list
+// estimate.
+type RowPlanner interface {
+	PlannedRows(s model.Subspace) int
+}
+
 // UnitFingerprint is the canonical identity of a unit scan, the key fault
 // decisions are drawn from. It depends only on the logical query — never on
 // cache state, worker, or time — which is what keeps injected failures
@@ -45,17 +58,148 @@ func AugmentedFingerprint(baseKey, breakdown, ext string) string {
 	return "a|" + baseKey + "|" + breakdown + "|" + ext
 }
 
-// ColumnarSubstrate is the default Substrate: a filtered group-by scan over
-// the in-memory columnar table, driven by the most selective filter's
-// posting list. It is infallible and pure with respect to the engine's
+// PlanMode selects the multi-filter scan strategy of the ColumnarSubstrate.
+type PlanMode int
+
+const (
+	// PlanAuto picks posting-list intersection or residual verification per
+	// subspace with the cost model described at buildPlan (the default).
+	PlanAuto PlanMode = iota
+	// PlanIntersect always intersects the posting lists of a multi-filter
+	// subspace.
+	PlanIntersect
+	// PlanResidual always drives off the most selective posting list and
+	// verifies the remaining filters row by row (the legacy strategy).
+	PlanResidual
+)
+
+// DefaultMorselSize is the fixed morsel width of the parallel scan pipeline,
+// in rows. Morsel boundaries depend only on this constant and the plan's
+// driving row count — never on the parallelism — which is what makes float
+// aggregation results bit-identical for any WithScanParallelism setting (see
+// DESIGN.md §8).
+const DefaultMorselSize = 8192
+
+// ColumnarSubstrate is the default Substrate: a morsel-driven, vectorized
+// filtered group-by scan over the in-memory columnar table. Multi-filter
+// subspaces are planned per subspace (posting-list intersection vs residual
+// verification, memoized); aggregation runs as fused per-measure kernels
+// over selection vectors, with min/max materialized only for the measure
+// columns some registered evaluator actually needs; accumulators are pooled
+// per substrate. It is infallible and pure with respect to the engine's
 // meter and caches.
 type ColumnarSubstrate struct {
-	tab *dataset.Table
+	tab    *dataset.Table
+	mcols  []*dataset.MeasureColumn
+	mvals  [][]float64 // raw values per measure, aligned with mcols
+	needMM []bool      // per measure: materialize min/max?
+	nmm    int         // number of true entries in needMM
+	par    int         // scan parallelism (>= 1)
+	morsel int         // morsel size in rows
+	mode   PlanMode
+	noPool bool
+	obs    *obs.Observer
+
+	planMu sync.RWMutex
+	plans  map[string]*scanPlan
+
+	pool sync.Pool // *scanAcc
+}
+
+// ColumnarOption customizes a ColumnarSubstrate.
+type ColumnarOption func(*columnarConfig)
+
+type columnarConfig struct {
+	par    int
+	morsel int
+	mode   PlanMode
+	noPool bool
+	minMax map[string]bool
+	obs    *obs.Observer
+}
+
+// WithScanParallelism sets how many goroutines one scan may use (default 1).
+// Results are bit-identical for any value: morsels have fixed boundaries and
+// their partial accumulators merge in morsel-index order, so the floating-
+// point addition grouping never depends on n. This option configures the
+// substrate built by NewColumnarSubstrate; Config.ScanParallelism applies it
+// to the engine's default substrate.
+func WithScanParallelism(n int) ColumnarOption {
+	return func(c *columnarConfig) {
+		if n > 1 {
+			c.par = n
+		}
+	}
+}
+
+// WithMorselSize overrides the fixed morsel width (default DefaultMorselSize).
+// Changing it changes the float addition grouping of multi-morsel scans, so
+// it is a new deterministic universe, not a tuning-only knob; tests use small
+// sizes to force the multi-morsel merge path on small tables.
+func WithMorselSize(rows int) ColumnarOption {
+	return func(c *columnarConfig) {
+		if rows > 0 {
+			c.morsel = rows
+		}
+	}
+}
+
+// WithMinMaxColumns restricts min/max materialization to the named measure
+// columns (the needed-aggregate set derived from measure and evaluator
+// registration). nil keeps the safe default — min/max for every measure; a
+// non-nil (possibly empty) set materializes min/max only for its members,
+// and MIN/MAX queries on other columns report "unit lacks column".
+func WithMinMaxColumns(cols map[string]bool) ColumnarOption {
+	return func(c *columnarConfig) { c.minMax = cols }
+}
+
+// WithPlanMode forces the multi-filter scan strategy; the differential tests
+// and benches use it to pin each physical path. Default PlanAuto.
+func WithPlanMode(m PlanMode) ColumnarOption {
+	return func(c *columnarConfig) { c.mode = m }
+}
+
+// WithoutAccumulatorPool disables accumulator reuse, allocating fresh arrays
+// per scan. Results are identical with or without the pool (the differential
+// tests assert it); the option exists to isolate pooling bugs.
+func WithoutAccumulatorPool() ColumnarOption {
+	return func(c *columnarConfig) { c.noPool = true }
+}
+
+// WithScanObserver attaches an observer receiving physical scan-path
+// counters ("engine.physical.plan_*", "engine.physical.morsels",
+// "engine.physical.rows_pruned"). Like all observability, it is inert.
+func WithScanObserver(o *obs.Observer) ColumnarOption {
+	return func(c *columnarConfig) { c.obs = o }
 }
 
 // NewColumnarSubstrate creates the default in-process substrate over tab.
-func NewColumnarSubstrate(tab *dataset.Table) *ColumnarSubstrate {
-	return &ColumnarSubstrate{tab: tab}
+func NewColumnarSubstrate(tab *dataset.Table, opts ...ColumnarOption) *ColumnarSubstrate {
+	cfg := columnarConfig{par: 1, morsel: DefaultMorselSize, mode: PlanAuto}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	mcols := tab.MeasureColumns()
+	c := &ColumnarSubstrate{
+		tab:    tab,
+		mcols:  mcols,
+		mvals:  make([][]float64, len(mcols)),
+		needMM: make([]bool, len(mcols)),
+		par:    cfg.par,
+		morsel: cfg.morsel,
+		mode:   cfg.mode,
+		noPool: cfg.noPool,
+		obs:    cfg.obs,
+		plans:  make(map[string]*scanPlan),
+	}
+	for i, mc := range mcols {
+		c.mvals[i] = mc.Values()
+		c.needMM[i] = cfg.minMax == nil || cfg.minMax[mc.Name]
+		if c.needMM[i] {
+			c.nmm++
+		}
+	}
+	return c
 }
 
 // filterSpec is a resolved subspace filter.
@@ -73,26 +217,126 @@ func resolveFilters(tab *dataset.Table, s model.Subspace) []filterSpec {
 	return specs
 }
 
-// scanPlan chooses the row set to iterate: the most selective filter's
-// posting list when the subspace is non-empty (the remaining filters are
-// verified per row), or the full table otherwise. It returns the driving
-// rows (nil = all rows) and the filters still to check.
-func scanPlan(tab *dataset.Table, filters []filterSpec) (drive []int32, rest []filterSpec) {
-	if len(filters) == 0 {
-		return nil, nil
+// residualFilter is one filter verified per driven row by the residual plan.
+type residualFilter struct {
+	codes []int32
+	code  int32
+}
+
+// scanPlan is the memoized physical plan for one subspace: the row set the
+// scan drives off plus any filters still verified per row. rows is the exact
+// number of rows the scan visits — the quantity the meter charges and
+// PlannedRows predicts.
+type scanPlan struct {
+	full        bool           // unfiltered: iterate every table row
+	drive       []int32        // rows to visit when !full (may be empty)
+	rest        []residualFilter // residual filters (residual plans only)
+	rows        int            // rows visited = len(drive), or table rows when full
+	intersected bool
+}
+
+// Plan-choice weights. A residual check costs random dictionary-code loads
+// per driven row; a merge step streams two sorted lists. Aggregating one
+// surviving row touches the group code plus every measure column. The
+// weights bias accordingly; they only steer plan choice and never enter the
+// metered cost, so tuning them is always determinism-safe for a fixed
+// binary.
+const (
+	residualCheckWeight = 4.0
+	kernelRowWeight     = 4.0
+)
+
+// planFor returns the memoized plan for s, building it on first use. Plans
+// are pure functions of the immutable table and the subspace, so memoization
+// is invisible to results and costs.
+func (c *ColumnarSubstrate) planFor(s model.Subspace) *scanPlan {
+	key := s.Key()
+	c.planMu.RLock()
+	p := c.plans[key]
+	c.planMu.RUnlock()
+	if p != nil {
+		return p
 	}
-	best := -1
-	bestLen := tab.Rows() + 1
+	p = c.buildPlan(s)
+	c.planMu.Lock()
+	if q, ok := c.plans[key]; ok {
+		p = q // a racing builder won; both plans are identical
+	} else {
+		c.plans[key] = p
+	}
+	c.planMu.Unlock()
+	return p
+}
+
+// buildPlan chooses the physical strategy for a subspace:
+//
+//   - no filters: full-table scan;
+//   - one filter: drive its posting list;
+//   - several filters: either intersect all posting lists (galloping/linear
+//     merge, see dataset.Intersect) and drive the exact matching row set, or
+//     drive the most selective list and verify the rest per row.
+//
+// The choice compares the merge cost estimate (dataset.IntersectCost)
+// against what residual verification would spend: one weighted check per
+// driven row per residual filter, plus the kernel work on the rows the
+// intersection would have pruned (expected under the independence
+// assumption). Everything is a pure function of posting-list lengths, so the
+// plan — and the metered row count that follows from it — is deterministic.
+func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
+	filters := resolveFilters(c.tab, s)
+	if len(filters) == 0 {
+		return &scanPlan{full: true, rows: c.tab.Rows()}
+	}
+	lists := make([][]int32, len(filters))
+	lens := make([]int, len(filters))
+	best := 0
 	for i, f := range filters {
-		if l := len(f.col.Postings(int(f.code))); l < bestLen {
-			best, bestLen = i, l
+		lists[i] = f.col.Postings(int(f.code))
+		lens[i] = len(lists[i])
+		if lens[i] < lens[best] {
+			best = i
 		}
 	}
-	drive = filters[best].col.Postings(int(filters[best].code))
-	rest = make([]filterSpec, 0, len(filters)-1)
-	rest = append(rest, filters[:best]...)
-	rest = append(rest, filters[best+1:]...)
-	return drive, rest
+	if lens[best] == 0 {
+		// A filter value absent from its column: no rows match, nothing is
+		// scanned.
+		return &scanPlan{drive: []int32{}}
+	}
+	if len(filters) == 1 {
+		return &scanPlan{drive: lists[0], rows: lens[0]}
+	}
+
+	nRest := len(filters) - 1
+	intersect := c.mode == PlanIntersect
+	if c.mode == PlanAuto {
+		expected := float64(c.tab.Rows())
+		for _, l := range lens {
+			expected *= float64(l) / float64(c.tab.Rows())
+		}
+		residualCost := float64(lens[best]) * residualCheckWeight * float64(nRest)
+		prunedKernel := (float64(lens[best]) - expected) * kernelRowWeight
+		intersect = dataset.IntersectCost(lens...) < residualCost+prunedKernel
+	}
+	if intersect {
+		drive := dataset.Intersect(lists...)
+		c.obs.Count("engine.physical.plan_intersect", 1)
+		c.obs.Count("engine.physical.rows_pruned", int64(lens[best]-len(drive)))
+		return &scanPlan{drive: drive, rows: len(drive), intersected: true}
+	}
+	rest := make([]residualFilter, 0, nRest)
+	for i, f := range filters {
+		if i != best {
+			rest = append(rest, residualFilter{codes: f.col.Codes(), code: f.code})
+		}
+	}
+	c.obs.Count("engine.physical.plan_residual", 1)
+	return &scanPlan{drive: lists[best], rest: rest, rows: lens[best]}
+}
+
+// PlannedRows implements RowPlanner: the exact rows a unit scan under s
+// visits (and an augmented scan of base s — same plan, same driving rows).
+func (c *ColumnarSubstrate) PlannedRows(s model.Subspace) int {
+	return c.planFor(s).rows
 }
 
 // ScanUnit executes one filtered group-by scan across all measure columns,
@@ -100,60 +344,11 @@ func scanPlan(tab *dataset.Table, filters []filterSpec) (drive []int32, rest []f
 func (c *ColumnarSubstrate) ScanUnit(s model.Subspace, breakdown string) (*cache.Unit, int, error) {
 	bcol := c.tab.Dimension(breakdown)
 	card := bcol.Cardinality()
-	filters := resolveFilters(c.tab, s)
-	mcols := c.tab.MeasureColumns()
-
-	counts := make([]float64, card)
-	sums := make([][]float64, len(mcols))
-	mins := make([][]float64, len(mcols))
-	maxs := make([][]float64, len(mcols))
-	for i := range mcols {
-		sums[i] = make([]float64, card)
-		mins[i] = make([]float64, card)
-		maxs[i] = make([]float64, card)
-		for g := 0; g < card; g++ {
-			mins[i][g] = math.Inf(1)
-			maxs[i][g] = math.Inf(-1)
-		}
-	}
-
-	drive, rest := scanPlan(c.tab, filters)
-	scanned := 0
-	accumulate := func(r int) {
-		for _, f := range rest {
-			if f.col.CodeAt(r) != f.code {
-				return
-			}
-		}
-		g := bcol.CodeAt(r)
-		counts[g]++
-		for i, mc := range mcols {
-			v := mc.At(r)
-			sums[i][g] += v
-			if v < mins[i][g] {
-				mins[i][g] = v
-			}
-			if v > maxs[i][g] {
-				maxs[i][g] = v
-			}
-		}
-	}
-	if drive == nil && len(filters) > 0 {
-		drive = []int32{} // non-empty subspace with an absent value: no rows
-	}
-	if len(filters) == 0 {
-		scanned = c.tab.Rows()
-		for r := 0; r < scanned; r++ {
-			accumulate(r)
-		}
-	} else {
-		scanned = len(drive)
-		for _, r := range drive {
-			accumulate(int(r))
-		}
-	}
-
-	return buildUnit(s.Key(), breakdown, bcol.Domain(), counts, mcols, sums, mins, maxs), scanned, nil
+	plan := c.planFor(s)
+	acc := c.scan(plan, bcol.Codes(), nil, 0, card)
+	u := c.buildUnitSlice(s.Key(), breakdown, bcol.Domain(), acc, 0, card)
+	c.release(acc)
+	return u, plan.rows, nil
 }
 
 // ScanAugmented executes one scan grouped by (breakdown, ext), producing one
@@ -162,116 +357,18 @@ func (c *ColumnarSubstrate) ScanAugmented(base model.Subspace, breakdown, ext st
 	bcol := c.tab.Dimension(breakdown)
 	dcol := c.tab.Dimension(ext)
 	bcard, dcard := bcol.Cardinality(), dcol.Cardinality()
-	filters := resolveFilters(c.tab, base)
-	mcols := c.tab.MeasureColumns()
-
-	cells := bcard * dcard
-	counts := make([]float64, cells)
-	sums := make([][]float64, len(mcols))
-	mins := make([][]float64, len(mcols))
-	maxs := make([][]float64, len(mcols))
-	for i := range mcols {
-		sums[i] = make([]float64, cells)
-		mins[i] = make([]float64, cells)
-		maxs[i] = make([]float64, cells)
-		for g := 0; g < cells; g++ {
-			mins[i][g] = math.Inf(1)
-			maxs[i][g] = math.Inf(-1)
-		}
-	}
-
-	drive, rest := scanPlan(c.tab, filters)
-	scanned := 0
-	accumulate := func(r int) {
-		for _, f := range rest {
-			if f.col.CodeAt(r) != f.code {
-				return
-			}
-		}
-		g := int(dcol.CodeAt(r))*bcard + int(bcol.CodeAt(r))
-		counts[g]++
-		for i, mc := range mcols {
-			v := mc.At(r)
-			sums[i][g] += v
-			if v < mins[i][g] {
-				mins[i][g] = v
-			}
-			if v > maxs[i][g] {
-				maxs[i][g] = v
-			}
-		}
-	}
-	if drive == nil && len(filters) > 0 {
-		drive = []int32{}
-	}
-	if len(filters) == 0 {
-		scanned = c.tab.Rows()
-		for r := 0; r < scanned; r++ {
-			accumulate(r)
-		}
-	} else {
-		scanned = len(drive)
-		for _, r := range drive {
-			accumulate(int(r))
-		}
-	}
+	plan := c.planFor(base)
+	acc := c.scan(plan, bcol.Codes(), dcol.Codes(), bcard, bcard*dcard)
 
 	units := make(map[string]*cache.Unit, dcard)
 	bdomain := bcol.Domain()
 	for dv := 0; dv < dcard; dv++ {
-		lo, hi := dv*bcard, (dv+1)*bcard
 		sub := base.With(ext, dcol.Value(dv))
-		colSums := make([][]float64, len(mcols))
-		colMins := make([][]float64, len(mcols))
-		colMaxs := make([][]float64, len(mcols))
-		for i := range mcols {
-			colSums[i] = sums[i][lo:hi]
-			colMins[i] = mins[i][lo:hi]
-			colMaxs[i] = maxs[i][lo:hi]
-		}
-		u := buildUnit(sub.Key(), breakdown, bdomain, counts[lo:hi], mcols, colSums, colMins, colMaxs)
+		u := c.buildUnitSlice(sub.Key(), breakdown, bdomain, acc, dv*bcard, bcard)
 		if len(u.GroupKeys) > 0 {
 			units[dcol.Value(dv)] = u
 		}
 	}
-	return units, scanned, nil
-}
-
-// buildUnit compresses full-domain accumulator arrays into a unit holding
-// only the non-empty groups.
-func buildUnit(subspaceKey, breakdown string, domain []string, counts []float64,
-	mcols []*dataset.MeasureColumn, sums, mins, maxs [][]float64) *cache.Unit {
-
-	nonEmpty := 0
-	for _, c := range counts {
-		if c > 0 {
-			nonEmpty++
-		}
-	}
-	u := &cache.Unit{
-		Key:       cache.UnitKey{Subspace: subspaceKey, Breakdown: breakdown},
-		GroupKeys: make([]string, 0, nonEmpty),
-		Counts:    make([]float64, 0, nonEmpty),
-		Sums:      make(map[string][]float64, len(mcols)),
-		Mins:      make(map[string][]float64, len(mcols)),
-		Maxs:      make(map[string][]float64, len(mcols)),
-	}
-	for _, mc := range mcols {
-		u.Sums[mc.Name] = make([]float64, 0, nonEmpty)
-		u.Mins[mc.Name] = make([]float64, 0, nonEmpty)
-		u.Maxs[mc.Name] = make([]float64, 0, nonEmpty)
-	}
-	for g, c := range counts {
-		if c == 0 {
-			continue
-		}
-		u.GroupKeys = append(u.GroupKeys, domain[g])
-		u.Counts = append(u.Counts, c)
-		for i, mc := range mcols {
-			u.Sums[mc.Name] = append(u.Sums[mc.Name], sums[i][g])
-			u.Mins[mc.Name] = append(u.Mins[mc.Name], mins[i][g])
-			u.Maxs[mc.Name] = append(u.Maxs[mc.Name], maxs[i][g])
-		}
-	}
-	return u
+	c.release(acc)
+	return units, plan.rows, nil
 }

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"metainsight"
+	"metainsight/internal/dataset"
+	"metainsight/internal/engine"
+	"metainsight/internal/model"
+	"metainsight/internal/workload"
+)
+
+// BenchResult is one measured scenario of the physical-layer bench harness.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Table       string  `json:"table"`
+	Filters     int     `json:"filters"`
+	Substrate   string  `json:"substrate"` // "vec" or "ref"
+	Parallelism int     `json:"parallelism"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RowsScanned int     `json:"rows_scanned"` // simulated metered rows per op
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchSpeedup compares a vectorized scenario against its reference baseline.
+type BenchSpeedup struct {
+	Scenario string  `json:"scenario"`
+	Baseline string  `json:"baseline"`
+	Speedup  float64 `json:"speedup"` // baseline ns/op ÷ scenario ns/op
+}
+
+// BenchReport is the BENCH_5.json document.
+type BenchReport struct {
+	Description string         `json:"description"`
+	Results     []BenchResult  `json:"results"`
+	Speedups    []BenchSpeedup `json:"speedups"`
+}
+
+// benchSpec names one scenario of the harness.
+type benchSpec struct {
+	kind    string // "unit", "aug" or "mine"
+	table   string
+	filters int
+	sub     string // "vec" or "ref"
+	par     int
+}
+
+func (s benchSpec) name() string {
+	if s.kind == "mine" {
+		return fmt.Sprintf("mine/par=%d", s.par)
+	}
+	if s.sub == "ref" {
+		return fmt.Sprintf("%s/table=%s/filters=%d/sub=ref", s.kind, s.table, s.filters)
+	}
+	return fmt.Sprintf("%s/table=%s/filters=%d/sub=vec/par=%d", s.kind, s.table, s.filters, s.par)
+}
+
+// benchGen builds the two synthetic bench datasets, mirroring the in-package
+// engine benchmarks so numbers are comparable.
+func benchGen(card string) *dataset.Table {
+	switch card {
+	case "small":
+		return workload.Generate(workload.GenSpec{Name: "bench-small", Seed: 61, Cards: []int{8, 6, 5}, Periods: 12, Measures: 2, RowsPerCell: 35})
+	case "large":
+		return workload.Generate(workload.GenSpec{Name: "bench-large", Seed: 67, Cards: []int{64, 24, 12}, Periods: 12, Measures: 2, RowsPerCell: 1})
+	}
+	panic("unknown bench table " + card)
+}
+
+func benchFilters(tab *dataset.Table, n int) model.Subspace {
+	dims := []string{"DimB", "DimC", "Period"}
+	sub := model.EmptySubspace
+	for i := 0; i < n && i < len(dims); i++ {
+		col := tab.Dimension(dims[i])
+		sub = sub.With(dims[i], col.Domain()[col.Cardinality()/2])
+	}
+	return sub
+}
+
+// Bench runs the reproducible physical-layer bench harness and writes the
+// BENCH_5.json report to outPath: unit and augmented scans across filter
+// depth, table size and parallelism for the vectorized substrate and the
+// naive reference baseline, plus an end-to-end budgeted mining run, each
+// reporting ns/op, simulated rows scanned, rows/sec and allocations. The
+// speedup section divides each reference ns/op by its vectorized
+// counterparts.
+func Bench(w io.Writer, outPath string) error {
+	rep := BenchReport{
+		Description: "Physical scan-layer benchmarks: vectorized morsel-parallel substrate (vec) vs retained naive reference (ref). rows_scanned is the simulated metered row count of the plan; speedup = ref ns/op ÷ vec ns/op.",
+	}
+
+	var specs []benchSpec
+	for _, table := range []string{"small", "large"} {
+		for _, nf := range []int{0, 2, 3} {
+			for _, cfg := range []struct {
+				sub string
+				par int
+			}{{"vec", 1}, {"vec", 4}, {"ref", 0}} {
+				specs = append(specs, benchSpec{kind: "unit", table: table, filters: nf, sub: cfg.sub, par: cfg.par})
+			}
+		}
+		for _, nf := range []int{0, 2} {
+			for _, cfg := range []struct {
+				sub string
+				par int
+			}{{"vec", 1}, {"vec", 4}, {"ref", 0}} {
+				specs = append(specs, benchSpec{kind: "aug", table: table, filters: nf, sub: cfg.sub, par: cfg.par})
+			}
+		}
+	}
+	specs = append(specs, benchSpec{kind: "mine", par: 1}, benchSpec{kind: "mine", par: 4})
+
+	tables := map[string]*dataset.Table{"small": benchGen("small"), "large": benchGen("large")}
+	refNs := map[string]float64{} // kind/table/filters -> reference ns/op
+
+	for _, spec := range specs {
+		var fn func(b *testing.B)
+		rowsScanned := 0
+		switch spec.kind {
+		case "mine":
+			par := spec.par
+			fn = func(b *testing.B) {
+				tab := workload.CreditCard()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a, err := metainsight.NewAnalyzer(tab,
+						metainsight.WithCostBudget(400),
+						metainsight.WithScanParallelism(par))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res := a.Mine(); res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		default:
+			tab := tables[spec.table]
+			var sub engine.Substrate
+			if spec.sub == "ref" {
+				sub = engine.NewReferenceSubstrate(tab, nil)
+			} else {
+				sub = engine.NewColumnarSubstrate(tab, engine.WithScanParallelism(spec.par))
+			}
+			var s model.Subspace
+			if spec.kind == "aug" {
+				// Filters on DimB/DimC only; Period is the ext dimension.
+				s = benchFilters(tab, spec.filters)
+				s = s.Without("Period")
+			} else {
+				s = benchFilters(tab, spec.filters)
+			}
+			augmented := spec.kind == "aug"
+			fn = func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var r int
+					var err error
+					if augmented {
+						_, r, err = sub.ScanAugmented(s, "DimA", "Period")
+					} else {
+						_, r, err = sub.ScanUnit(s, "DimA")
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					rowsScanned = r
+				}
+			}
+		}
+
+		res := testing.Benchmark(fn)
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		br := BenchResult{
+			Name:        spec.name(),
+			Table:       spec.table,
+			Filters:     spec.filters,
+			Substrate:   spec.sub,
+			Parallelism: spec.par,
+			NsPerOp:     nsPerOp,
+			RowsScanned: rowsScanned,
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if rowsScanned > 0 && nsPerOp > 0 {
+			br.RowsPerSec = float64(rowsScanned) * 1e9 / nsPerOp
+		}
+		if spec.kind == "mine" {
+			br.Table = "creditcard"
+			br.Substrate = "vec"
+		}
+		rep.Results = append(rep.Results, br)
+		key := fmt.Sprintf("%s/%s/%d", spec.kind, spec.table, spec.filters)
+		if spec.sub == "ref" {
+			refNs[key] = nsPerOp
+		}
+		fmt.Fprintf(w, "%-48s %12.0f ns/op %10d rows %8d allocs/op\n", br.Name, br.NsPerOp, br.RowsScanned, br.AllocsPerOp)
+	}
+
+	for _, r := range rep.Results {
+		if r.Substrate != "vec" || r.Name == "" || r.Parallelism == 0 {
+			continue
+		}
+		kind := "unit"
+		if len(r.Name) >= 3 && r.Name[:3] == "aug" {
+			kind = "aug"
+		}
+		if r.Table == "creditcard" {
+			continue
+		}
+		base, ok := refNs[fmt.Sprintf("%s/%s/%d", kind, r.Table, r.Filters)]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, BenchSpeedup{
+			Scenario: r.Name,
+			Baseline: fmt.Sprintf("%s/table=%s/filters=%d/sub=ref", kind, r.Table, r.Filters),
+			Speedup:  base / r.NsPerOp,
+		})
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d scenarios, %d speedups)\n", outPath, len(rep.Results), len(rep.Speedups))
+	return nil
+}

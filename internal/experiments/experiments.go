@@ -61,6 +61,10 @@ type Setup struct {
 	// checkpoint-resume smoke arm uses both.
 	Checkpoint       *miner.CheckpointSpec
 	HaltAfterCommits int64
+	// ScanParallelism is the per-scan goroutine count of the engine's default
+	// substrate (0/1 = sequential). Scan results are bit-identical at any
+	// value — the morsel pipeline's invariance — which Smoke asserts in CI.
+	ScanParallelism int
 }
 
 // FullFunctionality is the paper's golden configuration: all optimizations
@@ -73,10 +77,11 @@ func FullFunctionality() Setup {
 func (s Setup) Run(tab *dataset.Table) (*miner.Result, *engine.Engine) {
 	meter := &engine.Meter{}
 	eng, err := engine.New(tab, engine.Config{
-		QueryCache: cache.NewQueryCache(s.QueryCache),
-		Meter:      meter,
-		Observer:   s.Observer,
-		Faults:     faults.NewInjector(s.Faults, s.Retry),
+		QueryCache:      cache.NewQueryCache(s.QueryCache),
+		Meter:           meter,
+		Observer:        s.Observer,
+		Faults:          faults.NewInjector(s.Faults, s.Retry),
+		ScanParallelism: s.ScanParallelism,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))

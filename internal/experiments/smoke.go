@@ -23,16 +23,17 @@ func Smoke(w io.Writer) error {
 	tab := workload.CreditCard()
 	const budget = 400
 
-	run := func(workers int, ob *obs.Observer) (map[string]bool, miner.Stats) {
+	run := func(workers, scanPar int, ob *obs.Observer) (map[string]bool, miner.Stats) {
 		s := FullFunctionality()
 		s.Workers = workers
 		s.BudgetUnits = budget
 		s.Observer = ob
+		s.ScanParallelism = scanPar
 		res, _ := s.Run(tab)
 		return res.Keys(), res.Stats
 	}
-	oneKeys, oneStats := run(1, nil)
-	eightKeys, eightStats := run(8, nil)
+	oneKeys, oneStats := run(1, 1, nil)
+	eightKeys, eightStats := run(8, 1, nil)
 
 	fprintf(w, "Smoke: %s, budget %d cost units\n", tab.Name(), budget)
 	fprintf(w, "  W=1: %d MetaInsights, %d executed queries, cost %.3f\n",
@@ -61,10 +62,30 @@ func Smoke(w io.Writer) error {
 	}
 	fprintf(w, "  accounting identical across worker counts\n")
 
+	// Scan-parallelism invariance: a run whose physical scans each use 4
+	// goroutines must be bit-identical to the sequential runs — the morsel
+	// pipeline's fixed boundaries and in-order merge make the float grouping
+	// independent of intra-scan parallelism.
+	parKeys, parStats := run(8, 4, nil)
+	if len(parKeys) != len(oneKeys) {
+		return fmt.Errorf("smoke: scan parallelism changed result count: %d vs %d", len(parKeys), len(oneKeys))
+	}
+	for k := range oneKeys {
+		if !parKeys[k] {
+			return fmt.Errorf("smoke: %q mined sequentially but not at scan parallelism 4", k)
+		}
+	}
+	p := parStats
+	p.QueryCacheStats.Bytes = 0
+	if p != a {
+		return fmt.Errorf("smoke: scan parallelism changed stats\n  sequential: %+v\n  par=4: %+v", a, p)
+	}
+	fprintf(w, "  scan-parallelism invariant: identical results and accounting at per-scan parallelism 4\n")
+
 	// Observer inertness: a W=8 run with metrics + tracing enabled must be
 	// indistinguishable from the untraced runs.
 	ob := obs.New(obs.Options{TraceCapacity: 1 << 14})
-	obsKeys, obsStats := run(8, ob)
+	obsKeys, obsStats := run(8, 1, ob)
 	if len(obsKeys) != len(oneKeys) {
 		return fmt.Errorf("smoke: observer changed result count: %d vs %d", len(obsKeys), len(oneKeys))
 	}

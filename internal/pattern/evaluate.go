@@ -62,6 +62,32 @@ type CustomEvaluator struct {
 	// a second measure's series for the same scope, the multi-measure
 	// analysis class the paper's Section 6 leaves as future work.
 	EvaluateScope func(scope model.DataScope, keys []string, values []float64) Evaluation
+	// Requires declares measures this evaluator queries beyond the mined
+	// measure set (e.g. a correlation evaluator's secondary measure). The
+	// engine uses the union of these declarations — Config.RequiredMeasures —
+	// to decide which aggregates its scan substrate must materialize: MIN/MAX
+	// accumulators exist only for columns some declared measure needs. An
+	// evaluator that queries an undeclared MIN/MAX measure gets "unit lacks
+	// column" at query time.
+	Requires []model.Measure
+}
+
+// RequiredMeasures returns the union of every registered custom evaluator's
+// Requires declarations, in registration order. It is the needed-aggregate
+// contribution of pattern registration, consumed by engine.Config's
+// ExtraMeasures when assembling the scan substrate.
+func (c Config) RequiredMeasures() []model.Measure {
+	var out []model.Measure
+	seen := make(map[model.Measure]bool)
+	for _, ev := range c.Custom {
+		for _, m := range ev.Requires {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
 }
 
 // TypeName resolves a type's display name under this configuration,

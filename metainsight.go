@@ -312,6 +312,7 @@ type analyzerOptions struct {
 	qcBytes        int64
 	pcBytes        int64
 	checkpoint     *miner.CheckpointSpec
+	scanPar        int
 }
 
 // WithMeasures sets the measure set M (default: SUM over every measure
@@ -358,6 +359,18 @@ func WithTau(tau float64) Option {
 // without it, at any worker count. Read it back with Analyzer.Snapshot.
 func WithObserver(ob *Observer) Option {
 	return func(o *analyzerOptions) { o.observer = ob }
+}
+
+// WithScanParallelism sets how many goroutines one physical scan of the
+// default columnar substrate may use (default 1). This is intra-query
+// parallelism, orthogonal to WithWorkers' inter-query parallelism. Scan
+// results — and therefore every mined insight, statistic, fault fingerprint
+// and checkpoint — are bit-identical for any value: the scan pipeline splits
+// rows into fixed-size morsels and merges partial aggregates in morsel-index
+// order, so the floating-point grouping never depends on n. Ignored when
+// WithSubstrate replaces the default substrate.
+func WithScanParallelism(n int) Option {
+	return func(o *analyzerOptions) { o.scanPar = n }
 }
 
 // WithMaxSubspaceFilters caps subspace depth (default 3).
@@ -527,14 +540,27 @@ func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
 		qc.SetMaxBytes(o.qcBytes)
 	}
 	meter := &engine.Meter{}
+	// The needed-aggregate set: measures that registered evaluators will
+	// query beyond the mined measure set. Custom patterns declare theirs via
+	// CustomEvaluator.Requires; each correlation pair queries its secondary
+	// measure for the primary's scopes. The engine derives from this which
+	// MIN/MAX accumulators its scan substrate must materialize.
+	reqCfg := pattern.Config{Custom: o.customPatterns}
+	for _, pair := range o.correlations {
+		reqCfg.Custom = append(reqCfg.Custom, pattern.CustomEvaluator{
+			Requires: []Measure{pair[0], pair[1]},
+		})
+	}
 	eng, err := engine.New(d, engine.Config{
-		Measures:      o.measures,
-		ImpactMeasure: o.impact,
-		QueryCache:    qc,
-		Meter:         meter,
-		Observer:      o.observer,
-		Substrate:     o.substrate,
-		Faults:        faults.NewInjector(o.faultPolicy, retry),
+		Measures:        o.measures,
+		ImpactMeasure:   o.impact,
+		ExtraMeasures:   reqCfg.RequiredMeasures(),
+		ScanParallelism: o.scanPar,
+		QueryCache:      qc,
+		Meter:           meter,
+		Observer:        o.observer,
+		Substrate:       o.substrate,
+		Faults:          faults.NewInjector(o.faultPolicy, retry),
 	})
 	if err != nil {
 		return nil, err
@@ -675,7 +701,8 @@ func correlationEvaluator(eng *engine.Engine, primary, secondary Measure) patter
 		minAbsR = 0.5
 	)
 	return pattern.CustomEvaluator{
-		Name: fmt.Sprintf("Correlation(%s, %s)", primary, secondary),
+		Name:     fmt.Sprintf("Correlation(%s, %s)", primary, secondary),
+		Requires: []Measure{secondary},
 		EvaluateScope: func(scope DataScope, keys []string, values []float64) pattern.Evaluation {
 			if scope.Measure != primary || scope.Breakdown == "" || len(values) < 5 {
 				return pattern.Evaluation{}
