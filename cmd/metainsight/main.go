@@ -4,6 +4,7 @@
 // Usage:
 //
 //	metainsight -csv data.csv [-k 10] [-budget 10s] [-tau 0.5] [-workers 8]
+//	            [-topk-prune 40]
 //	            [-flat] [-max-card 50] [-trace run.jsonl] [-metrics]
 //	            [-checkpoint dir [-checkpoint-every 256] [-resume]]
 //	            [-scan-parallelism 4] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -57,6 +58,7 @@ func run() int {
 		ckEvery = fs.Int64("checkpoint-every", 256, "commits between checkpoint snapshots (with -checkpoint)")
 		resume  = fs.Bool("resume", false, "resume the run recorded in -checkpoint instead of starting fresh")
 		scanPar = fs.Int("scan-parallelism", 1, "goroutines per physical scan (results are bit-identical for any value)")
+		topKCut = fs.Int("topk-prune", 0, "S*-bounded early termination: skip candidates that provably cannot enter the score top k (0 = off; size with headroom over -k)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf = fs.String("memprofile", "", "write a heap profile taken after mining to this file")
 	)
@@ -152,6 +154,9 @@ func run() int {
 	}
 	if *budget > 0 {
 		opts = append(opts, metainsight.WithTimeBudget(*budget))
+	}
+	if *topKCut > 0 {
+		opts = append(opts, metainsight.WithTopKPruning(*topKCut))
 	}
 	if *faultsS != "" {
 		policy, retry, err := metainsight.ParseFaultSpec(*faultsS)

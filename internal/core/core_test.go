@@ -571,3 +571,78 @@ func TestScoreParamsWithDefaults(t *testing.T) {
 		t.Errorf("full WithDefaults = %+v, want %+v", got, full)
 	}
 }
+
+func TestScoreUpperBoundBasics(t *testing.T) {
+	p := DefaultScoreParams()
+	if ub := ScoreUpperBound(1, 1, p); ub != 0 {
+		t.Errorf("nScopes < 2 must bound to 0, got %v", ub)
+	}
+	ub2 := ScoreUpperBound(1, 2, p)
+	if ub2 <= 0 || ub2 >= 1 {
+		t.Errorf("ScoreUpperBound(1, 2) = %v, want in (0, 1)", ub2)
+	}
+	// Monotone in impact, and never above g(impact).
+	if a, b := ScoreUpperBound(0.3, 5, p), ScoreUpperBound(0.6, 5, p); a > b {
+		t.Errorf("bound not monotone in impact: %v > %v", a, b)
+	}
+	if ub := ScoreUpperBound(0.25, 5, p); ub > 0.25 {
+		t.Errorf("bound %v exceeds g(impact) = 0.25", ub)
+	}
+	// More scopes can only loosen the bound: a larger HDS admits a cheaper
+	// exception, so the min over m only shrinks.
+	prev := ScoreUpperBound(1, 2, p)
+	for n := 3; n <= 60; n++ {
+		ub := ScoreUpperBound(1, n, p)
+		if ub < prev-1e-12 {
+			t.Fatalf("bound tightened from n=%d to n=%d: %v -> %v", n-1, n, prev, ub)
+		}
+		prev = ub
+	}
+}
+
+// TestScoreUpperBoundDominatesRealizableScores is the soundness property
+// behind S*-bounded early termination: no MetaInsight built from an HDS with
+// nominal scopes can score above ScoreUpperBound for that HDS. Random draws
+// cover the adversarial single-commonness minimum-entropy shape, no-exception
+// MetaInsights (charged γ instead), evaluated pattern counts below the
+// nominal scope count (empty siblings), and r values where the exception
+// floor is not monotone in the pattern count.
+func TestScoreUpperBoundDominatesRealizableScores(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := ScoreParams{
+			Tau:   0.25 + 0.5*r.Float64(),
+			K:     1 + r.Intn(5),
+			R:     []float64{0.5, 1, 3, 12}[r.Intn(4)],
+			Gamma: 0.02 + r.Float64(),
+		}
+		nominal := 2 + r.Intn(11)
+		n := 2 + r.Intn(nominal)
+		if n > nominal {
+			n = nominal
+		}
+		e := r.Intn(n - 1) // exceptions; n-e >= 2 commonness members
+		comm := n - e
+		if float64(comm)/float64(n) <= p.Tau {
+			return true // no commonness class clears tau: not a MetaInsight
+		}
+		alphas := []float64{float64(comm) / float64(n)}
+		var betas []float64
+		rem := e
+		for v := 0; v < p.K && rem > 0; v++ {
+			take := 1 + r.Intn(rem)
+			if v == p.K-1 {
+				take = rem
+			}
+			betas = append(betas, float64(take)/float64(n))
+			rem -= take
+		}
+		impact := 1.5 * r.Float64()
+		s := EntropyS(alphas, betas, p.R)
+		score := Score(ConcisenessReg(s, e == 0, p), impact)
+		return score <= ScoreUpperBound(impact, nominal, p)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -17,12 +17,14 @@ type postings struct {
 
 // Postings returns the row ids holding the given dictionary code, in
 // ascending order. The first call per column materializes the lists in one
-// O(rows) pass.
+// O(rows) pass. The bounds check runs against the dictionary first, so an
+// out-of-range code (e.g. the -1 of an absent filter value) never triggers
+// the build.
 func (c *DimColumn) Postings(code int) []int32 {
-	c.index2().once.Do(c.buildPostings)
-	if code < 0 || code >= len(c.post.rows) {
+	if code < 0 || code >= len(c.dict) {
 		return nil
 	}
+	c.index2().once.Do(c.buildPostings)
 	return c.post.rows[code]
 }
 

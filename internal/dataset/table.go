@@ -25,6 +25,9 @@ type DimColumn struct {
 
 	postOnce sync.Once
 	post     *postings // lazily built inverted index (see index.go)
+
+	zoneMu sync.Mutex
+	zones  map[int]*ZoneMap // block size -> lazily built zone map (see zones.go)
 }
 
 // Cardinality returns the number of distinct values in the column's domain.

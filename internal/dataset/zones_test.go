@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"metainsight/internal/model"
+)
+
+// zoneTestTable builds a table whose single dimension takes random codes, for
+// checking zone maps against a naive per-block reduction.
+func zoneTestTable(seed int64, rows int) *Table {
+	b := NewBuilder("zones", []model.Field{
+		{Name: "D", Kind: model.KindCategorical},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		b.AddRow([]string{fmt.Sprintf("d%02d", r.Intn(17))}, []float64{float64(i)})
+	}
+	return b.Build()
+}
+
+// TestZoneMapMatchesNaive checks per-block min/max against direct reduction
+// at several block sizes, including ones that do not divide the row count.
+func TestZoneMapMatchesNaive(t *testing.T) {
+	tab := zoneTestTable(1, 517)
+	col := tab.Dimension("D")
+	codes := col.Codes()
+	for _, blockRows := range []int{1, 7, 64, 517, 1000} {
+		z := col.Zones(blockRows)
+		if z.BlockRows() != blockRows {
+			t.Fatalf("blockRows %d: map reports %d", blockRows, z.BlockRows())
+		}
+		wantBlocks := (len(codes) + blockRows - 1) / blockRows
+		if z.Blocks() != wantBlocks {
+			t.Fatalf("blockRows %d: %d blocks, want %d", blockRows, z.Blocks(), wantBlocks)
+		}
+		for b := 0; b < z.Blocks(); b++ {
+			lo := b * blockRows
+			hi := lo + blockRows
+			if hi > len(codes) {
+				hi = len(codes)
+			}
+			mn, mx := codes[lo], codes[lo]
+			for _, c := range codes[lo:hi] {
+				if c < mn {
+					mn = c
+				}
+				if c > mx {
+					mx = c
+				}
+			}
+			if z.Min(b) != mn || z.Max(b) != mx {
+				t.Fatalf("blockRows %d block %d: [%d,%d], want [%d,%d]",
+					blockRows, b, z.Min(b), z.Max(b), mn, mx)
+			}
+			for _, code := range []int32{mn - 1, mn, mx, mx + 1} {
+				want := code >= mn && code <= mx
+				if got := z.Contains(b, code); got != want {
+					t.Fatalf("blockRows %d block %d Contains(%d)=%v, want %v",
+						blockRows, b, code, got, want)
+				}
+			}
+		}
+		if z.Contains(-1, 0) || z.Contains(z.Blocks(), 0) {
+			t.Fatal("out-of-range block must contain nothing")
+		}
+	}
+}
+
+// TestZoneMapCached checks that zone maps are built once per block size and
+// shared across callers.
+func TestZoneMapCached(t *testing.T) {
+	col := zoneTestTable(2, 100).Dimension("D")
+	if col.Zones(16) != col.Zones(16) {
+		t.Fatal("same block size returned distinct zone maps")
+	}
+	if col.Zones(16) == col.Zones(32) {
+		t.Fatal("distinct block sizes share a zone map")
+	}
+}
+
+// TestPostingsBoundsBeforeBuild is the regression test for the lazy-build
+// ordering bug: an out-of-range code (such as the -1 of an absent filter
+// value) must answer nil from the dictionary bounds alone, without paying
+// the O(rows) posting-list materialization.
+func TestPostingsBoundsBeforeBuild(t *testing.T) {
+	col := zoneTestTable(3, 200).Dimension("D")
+	if got := col.Postings(-1); got != nil {
+		t.Fatalf("Postings(-1) = %v, want nil", got)
+	}
+	if got := col.Postings(col.Cardinality()); got != nil {
+		t.Fatalf("Postings(card) = %v, want nil", got)
+	}
+	if col.post != nil {
+		t.Fatal("out-of-range lookups materialized the posting lists")
+	}
+	rows := col.Postings(0)
+	if len(rows) == 0 {
+		t.Fatal("valid code returned no rows")
+	}
+	if col.post == nil {
+		t.Fatal("valid lookup did not build the posting lists")
+	}
+}

@@ -5,21 +5,41 @@ package engine
 // over flat slices with no closure captures:
 //
 //  1. selection — the plan's driving rows for the morsel, filtered by any
-//     residual filters into a selection vector of row ids;
+//     residual filters into a selection vector of row ids (zone plans verify
+//     every filter across their surviving blocks);
 //  2. group ids — one gather computing each selected row's accumulator cell;
-//  3. aggregation — one pass per measure column: count/sum always, min/max
-//     fused into the same loop only for measure columns in the
-//     needed-aggregate set (first-touch initialization, so there is no
-//     O(cells) ±Inf fill).
+//  3. aggregation — counts, sums and (for measures in the needed-aggregate
+//     set) min/max, with first-touch initialization so there is no O(cells)
+//     ±Inf fill.
+//
+// Contiguous scans (no filters, or one zone block) skip stages 1–2 entirely:
+// the group-id vector is the breakdown code column itself, and aggregation
+// works run by run — dictionary codes of real tables are heavily clustered
+// (sorted or generated in cross-product order), so one run covers hundreds
+// of rows, the count update is O(1) per run, and the per-run sum folds
+// through four independent accumulator lanes instead of one serial
+// load-add-store dependency chain through memory. The lane split changes
+// the float addition association, but deterministically: it depends only on
+// the morsel boundaries and the code sequence, never on parallelism or
+// pooling (integer-valued sums are exact under any association, which is
+// what the cross-substrate differential tests compare byte for byte).
+//
+// All accumulator arrays of one scanAcc live in a single flat slab — counts
+// first, then every sum column, then the min/max pairs — so acquire zeroes
+// one contiguous prefix with a single memclr and the kernels stay in one
+// allocation's cache lines.
 //
 // The driving row set is split into fixed-size morsels. Each morsel
 // accumulates into its own (pooled) accumulator; partials are merged into
-// the scan's result strictly in morsel-index order. Because the morsel
-// boundaries depend only on the morsel size and the driving row count, and
-// the merge order is fixed, every float addition has the same grouping at
-// any parallelism — scan results are bit-identical for WithScanParallelism 1
-// or 16. Scans whose driving set fits one morsel skip partials and merge
-// entirely.
+// the scan's result strictly in morsel-index order through an in-order
+// reorder window: as soon as every morsel below i has merged, morsel i
+// merges and its accumulator returns to the pool. Live partials therefore
+// scale with the reorder skew (≈ parallelism), not with the morsel count.
+// Because the morsel boundaries depend only on the morsel size and the
+// plan's driving row count, and the merge order is fixed, every float
+// addition has the same grouping at any parallelism — scan results are
+// bit-identical for WithScanParallelism 1 or 16. Scans whose driving set
+// fits one morsel skip partials and merge entirely.
 
 import (
 	"math"
@@ -31,13 +51,15 @@ import (
 
 // scanAcc is one accumulator set: full-domain counts and per-measure sums
 // (always), min/max arrays for needed measures only, the first-touch group
-// list, and reusable selection/group-id scratch. Instances are pooled per
-// substrate (see acquire/release).
+// list, and reusable selection/group-id scratch. counts, sums, mins and maxs
+// are views into one flat slab. Instances are pooled per substrate (see
+// acquire/release).
 type scanAcc struct {
 	cells   int
-	counts  []float64
-	sums    [][]float64
-	mins    [][]float64 // nil per measure when min/max is not needed
+	slab    []float64   // backing storage: counts | sums… | min,max…
+	counts  []float64   // slab view
+	sums    [][]float64 // slab views, one per measure
+	mins    [][]float64 // slab views; nil per measure when min/max not needed
 	maxs    [][]float64
 	touched []int32 // cells first touched by this accumulator, in touch order
 	gids    []int32 // scratch: group id per selected row
@@ -45,9 +67,10 @@ type scanAcc struct {
 }
 
 // acquire returns a zeroed accumulator sized for cells, reusing a pooled one
-// when available. counts and sums are zero-filled; min/max arrays hold
-// garbage outside touched cells by design — they are initialized at first
-// touch and only ever read for cells with a non-zero count.
+// when available. counts and sums are zero-filled (one memclr over the slab
+// prefix); min/max arrays hold garbage outside touched cells by design —
+// they are initialized at first touch and only ever read for cells with a
+// non-zero count.
 func (c *ColumnarSubstrate) acquire(cells int) *scanAcc {
 	var a *scanAcc
 	if !c.noPool {
@@ -55,23 +78,36 @@ func (c *ColumnarSubstrate) acquire(cells int) *scanAcc {
 			a = v.(*scanAcc)
 		}
 	}
+	nmeas := len(c.mcols)
 	if a == nil {
 		a = &scanAcc{
-			sums: make([][]float64, len(c.mcols)),
-			mins: make([][]float64, len(c.mcols)),
-			maxs: make([][]float64, len(c.mcols)),
+			sums: make([][]float64, nmeas),
+			mins: make([][]float64, nmeas),
+			maxs: make([][]float64, nmeas),
 		}
 	}
 	a.cells = cells
-	a.counts = growFloats(a.counts, cells)
-	zeroFloats(a.counts)
-	for i := range c.mcols {
-		a.sums[i] = growFloats(a.sums[i], cells)
-		zeroFloats(a.sums[i])
-		if c.needMM[i] {
-			a.mins[i] = growFloats(a.mins[i], cells)
-			a.maxs[i] = growFloats(a.maxs[i], cells)
+	need := cells * (1 + nmeas + 2*c.nmm)
+	if cap(a.slab) < need {
+		a.slab = make([]float64, need)
+	}
+	slab := a.slab[:need]
+	clear(slab[:cells*(1+nmeas)]) // counts and sums; min/max left as garbage
+	a.counts = slab[:cells:cells]
+	off := cells
+	for i := 0; i < nmeas; i++ {
+		a.sums[i] = slab[off : off+cells : off+cells]
+		off += cells
+	}
+	for i := 0; i < nmeas; i++ {
+		if !c.needMM[i] {
+			a.mins[i], a.maxs[i] = nil, nil
+			continue
 		}
+		a.mins[i] = slab[off : off+cells : off+cells]
+		off += cells
+		a.maxs[i] = slab[off : off+cells : off+cells]
+		off += cells
 	}
 	a.touched = a.touched[:0]
 	return a
@@ -98,13 +134,6 @@ func (a *scanAcc) resetTouched() {
 	a.touched = a.touched[:0]
 }
 
-func growFloats(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
@@ -112,10 +141,72 @@ func growInt32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
-func zeroFloats(s []float64) {
-	for i := range s {
-		s[i] = 0
+// growInt32Keep grows s to length n preserving its contents, unlike
+// growInt32 which may discard them.
+func growInt32Keep(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
 	}
+	t := make([]int32, n, n+n/2)
+	copy(t, s)
+	return t
+}
+
+// mergeWindow is the in-order reorder window of the parallel scan: workers
+// deposit finished morsel partials, and whichever worker completes the next
+// in-order morsel drains the window, merging consecutive ready partials into
+// the global accumulator and releasing them to the pool immediately. The
+// merge order is exactly morsel-index order — the same order the sequential
+// path uses — so parallel results stay bit-identical; the window just stops
+// partials from accumulating until the end of the scan.
+type mergeWindow struct {
+	mu   sync.Mutex
+	accs []*scanAcc // slot per morsel; non-nil ⇒ completed, awaiting merge
+	next int        // lowest morsel index not yet merged
+}
+
+// deposit hands a finished morsel partial to the window and merges any
+// now-contiguous run of completed morsels into global.
+func (w *mergeWindow) deposit(c *ColumnarSubstrate, global *scanAcc, mi int, a *scanAcc) {
+	w.mu.Lock()
+	w.accs[mi] = a
+	for w.next < len(w.accs) && w.accs[w.next] != nil {
+		m := w.accs[w.next]
+		w.accs[w.next] = nil
+		w.next++
+		c.mergeAcc(global, m)
+		c.release(m)
+	}
+	w.mu.Unlock()
+}
+
+// morselCount returns how many morsels the plan's driving set splits into.
+// Zone plans morselize per surviving block (each block is one morsel by
+// construction — the zone block size is the morsel size).
+func (c *ColumnarSubstrate) morselCount(plan *scanPlan, n int) int {
+	if plan.zone {
+		return len(plan.zblocks)
+	}
+	return (n + c.morsel - 1) / c.morsel
+}
+
+// morselBounds returns the driving range of morsel mi: row addresses for
+// zone plans (the block's rows), driving-set positions otherwise.
+func (c *ColumnarSubstrate) morselBounds(plan *scanPlan, mi, n int) (lo, hi int) {
+	if plan.zone {
+		lo = int(plan.zblocks[mi]) * c.morsel
+		hi = lo + c.morsel
+		if t := c.tab.Rows(); hi > t {
+			hi = t
+		}
+		return lo, hi
+	}
+	lo = mi * c.morsel
+	hi = lo + c.morsel
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
 }
 
 // scan executes the plan into one accumulator of the given cell count.
@@ -127,10 +218,11 @@ func (c *ColumnarSubstrate) scan(plan *scanPlan, bcodes, dcodes []int32, bcard, 
 	if n == 0 {
 		return global
 	}
-	nm := (n + c.morsel - 1) / c.morsel
+	nm := c.morselCount(plan, n)
 	c.obs.Count("engine.physical.morsels", int64(nm))
 	if nm == 1 {
-		c.processMorsel(plan, 0, n, bcodes, dcodes, bcard, global)
+		lo, hi := c.morselBounds(plan, 0, n)
+		c.processMorsel(plan, lo, hi, bcodes, dcodes, bcard, global)
 		return global
 	}
 
@@ -144,11 +236,7 @@ func (c *ColumnarSubstrate) scan(plan *scanPlan, bcodes, dcodes []int32, bcard, 
 		// path, so results are bit-identical at any parallelism.
 		m := c.acquire(cells)
 		for mi := 0; mi < nm; mi++ {
-			lo := mi * c.morsel
-			hi := lo + c.morsel
-			if hi > n {
-				hi = n
-			}
+			lo, hi := c.morselBounds(plan, mi, n)
 			c.processMorsel(plan, lo, hi, bcodes, dcodes, bcard, m)
 			c.mergeAcc(global, m)
 			m.resetTouched()
@@ -157,7 +245,7 @@ func (c *ColumnarSubstrate) scan(plan *scanPlan, bcodes, dcodes []int32, bcard, 
 		return global
 	}
 
-	accs := make([]*scanAcc, nm)
+	win := &mergeWindow{accs: make([]*scanAcc, nm)}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
@@ -170,37 +258,62 @@ func (c *ColumnarSubstrate) scan(plan *scanPlan, bcodes, dcodes []int32, bcard, 
 					return
 				}
 				a := c.acquire(cells)
-				lo := mi * c.morsel
-				hi := lo + c.morsel
-				if hi > n {
-					hi = n
-				}
+				lo, hi := c.morselBounds(plan, mi, n)
 				c.processMorsel(plan, lo, hi, bcodes, dcodes, bcard, a)
-				accs[mi] = a
+				win.deposit(c, global, mi, a)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, a := range accs {
-		c.mergeAcc(global, a)
-		c.release(a)
-	}
 	return global
 }
 
-// processMorsel runs the three kernel stages for driving positions [lo, hi)
-// into acc.
+// processMorsel runs the kernel stages for driving positions [lo, hi) into
+// acc. Contiguous full-table morsels take the run-fused path; everything
+// else builds a selection vector and goes through the gather kernels.
 func (c *ColumnarSubstrate) processMorsel(plan *scanPlan, lo, hi int, bcodes, dcodes []int32, bcard int, acc *scanAcc) {
 	n := hi - lo
 
 	// Stage 1: selection. Contiguous full-table morsels skip the vector and
 	// address rows [lo, hi) directly; intersection plans drive their exact
-	// row list; residual plans filter the driving slice into acc.sel.
+	// row list; residual plans filter the driving slice into acc.sel; zone
+	// plans verify every filter across the block's contiguous rows.
 	var sel []int32
-	contiguous := false
 	switch {
 	case plan.full:
-		contiguous = true
+		if dcodes == nil {
+			// Unit scan over contiguous rows: the group-id vector is the
+			// breakdown code column itself — no copy, no gather.
+			c.accumulateRuns(acc, bcodes[lo:hi], lo)
+			return
+		}
+		acc.gids = growInt32(acc.gids, n)
+		gids := acc.gids[:n]
+		bc := bcodes[lo:hi]
+		dc := dcodes[lo:hi]
+		for i := range bc {
+			gids[i] = dc[i]*int32(bcard) + bc[i]
+		}
+		c.accumulateRuns(acc, gids, lo)
+		return
+	case plan.zone:
+		if cap(acc.sel) < n {
+			acc.sel = make([]int32, 0, n)
+		}
+		acc.sel = acc.sel[:0]
+		for r := lo; r < hi; r++ {
+			keep := true
+			for _, f := range plan.rest {
+				if f.codes[r] != f.code {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				acc.sel = append(acc.sel, int32(r))
+			}
+		}
+		sel = acc.sel
 	case len(plan.rest) == 0:
 		sel = plan.drive[lo:hi]
 	default:
@@ -223,59 +336,47 @@ func (c *ColumnarSubstrate) processMorsel(plan *scanPlan, lo, hi int, bcodes, dc
 		sel = acc.sel
 	}
 
-	// Stage 2: group ids.
-	m := n
-	if !contiguous {
-		m = len(sel)
-	}
+	// Stage 2: group ids, gathered through the selection vector.
+	m := len(sel)
 	if m == 0 {
 		return
 	}
 	acc.gids = growInt32(acc.gids, m)
 	gids := acc.gids[:m]
-	switch {
-	case contiguous && dcodes == nil:
-		copy(gids, bcodes[lo:hi])
-	case contiguous:
-		bc := bcodes[lo:hi]
-		dc := dcodes[lo:hi]
-		for i := range bc {
-			gids[i] = dc[i]*int32(bcard) + bc[i]
-		}
-	case dcodes == nil:
+	if dcodes == nil {
 		for i, r := range sel {
 			gids[i] = bcodes[r]
 		}
-	default:
+	} else {
 		for i, r := range sel {
 			gids[i] = dcodes[r]*int32(bcard) + bcodes[r]
 		}
 	}
 
-	// Stage 3a: counts plus first-touch tracking.
+	// Stage 3a: counts plus branch-free first-touch tracking. The candidate
+	// cell is written to the touch list unconditionally; the list length
+	// advances only on a first touch, so the hot loop carries no append and
+	// no hard-to-predict branch target — just a conditional increment.
 	counts := acc.counts
-	touchBase := len(acc.touched)
+	tb := len(acc.touched)
+	touched := growInt32Keep(acc.touched, tb+m)
+	tl := tb
 	for _, g := range gids {
+		touched[tl] = g
 		if counts[g] == 0 {
-			acc.touched = append(acc.touched, g)
+			tl++
 		}
 		counts[g]++
 	}
-	newTouched := acc.touched[touchBase:]
+	acc.touched = touched[:tl]
+	newTouched := touched[tb:tl]
 
 	// Stage 3b: one fused pass per measure column.
 	for i, vals := range c.mvals {
 		sums := acc.sums[i]
 		if !c.needMM[i] {
-			if contiguous {
-				v := vals[lo:hi]
-				for j, g := range gids {
-					sums[g] += v[j]
-				}
-			} else {
-				for j, r := range sel {
-					sums[gids[j]] += vals[r]
-				}
+			for j, r := range sel {
+				sums[gids[j]] += vals[r]
 			}
 			continue
 		}
@@ -284,32 +385,159 @@ func (c *ColumnarSubstrate) processMorsel(plan *scanPlan, lo, hi int, bcodes, dc
 			mins[g] = math.Inf(1)
 			maxs[g] = math.Inf(-1)
 		}
-		if contiguous {
-			v := vals[lo:hi]
-			for j, g := range gids {
-				x := v[j]
-				sums[g] += x
-				if x < mins[g] {
-					mins[g] = x
-				}
-				if x > maxs[g] {
-					maxs[g] = x
-				}
+		for j, r := range sel {
+			g := gids[j]
+			x := vals[r]
+			sums[g] += x
+			if x < mins[g] {
+				mins[g] = x
 			}
-		} else {
-			for j, r := range sel {
-				g := gids[j]
-				x := vals[r]
-				sums[g] += x
-				if x < mins[g] {
-					mins[g] = x
-				}
-				if x > maxs[g] {
-					maxs[g] = x
-				}
+			if x > maxs[g] {
+				maxs[g] = x
 			}
 		}
 	}
+}
+
+// accumulateRuns is the contiguous-scan kernel: it walks the group-id vector
+// run by run. Counts advance O(1) per run; each run's sum folds through four
+// independent accumulator lanes (breaking the serial load-add-store chain
+// through the accumulator cell that dominates clustered data), and min/max
+// reduce in the same pass for measures that need them. Short runs fall back
+// to plain in-order updates. rowBase maps gid index 0 to its table row.
+func (c *ColumnarSubstrate) accumulateRuns(acc *scanAcc, gids []int32, rowBase int) {
+	n := len(gids)
+	counts := acc.counts
+	j := 0
+	for j < n {
+		g := gids[j]
+		k := j + 1
+		for k < n && gids[k] == g {
+			k++
+		}
+		if counts[g] == 0 {
+			acc.touched = append(acc.touched, g)
+			for i := range c.mvals {
+				if c.needMM[i] {
+					acc.mins[i][g] = math.Inf(1)
+					acc.maxs[i][g] = math.Inf(-1)
+				}
+			}
+		}
+		counts[g] += float64(k - j)
+		for i, vals := range c.mvals {
+			v := vals[rowBase+j : rowBase+k]
+			sums := acc.sums[i]
+			if !c.needMM[i] {
+				if len(v) < shortRun {
+					for _, x := range v {
+						sums[g] += x
+					}
+				} else {
+					sums[g] += sumLanes(v)
+				}
+				continue
+			}
+			mins, maxs := acc.mins[i], acc.maxs[i]
+			if len(v) < shortRun {
+				for _, x := range v {
+					sums[g] += x
+					if x < mins[g] {
+						mins[g] = x
+					}
+					if x > maxs[g] {
+						maxs[g] = x
+					}
+				}
+				continue
+			}
+			s, mn, mx := reduceLanes(v)
+			sums[g] += s
+			if mn < mins[g] {
+				mins[g] = mn
+			}
+			if mx > maxs[g] {
+				maxs[g] = mx
+			}
+		}
+		j = k
+	}
+}
+
+// shortRun is the run length below which per-element in-place updates beat
+// the lane-split reduction's setup cost.
+const shortRun = 8
+
+// sumLanes sums v through four independent lanes, combining them as
+// (s0+s1)+(s2+s3) and folding any tail elements in order afterwards. The
+// association depends only on len(v) — deterministic for a fixed plan and
+// morsel size, regardless of parallelism.
+func sumLanes(v []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i]
+		s1 += v[i+1]
+		s2 += v[i+2]
+		s3 += v[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(v); i++ {
+		s += v[i]
+	}
+	return s
+}
+
+// reduceLanes is sumLanes fused with a min/max reduction over the same pass.
+// Min/max are exact under any association; NaNs never win a comparison, the
+// same semantics as the per-row kernels and the reference scan.
+func reduceLanes(v []float64) (sum, mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		x0, x1, x2, x3 := v[i], v[i+1], v[i+2], v[i+3]
+		s0 += x0
+		s1 += x1
+		s2 += x2
+		s3 += x3
+		if x0 < mn {
+			mn = x0
+		}
+		if x0 > mx {
+			mx = x0
+		}
+		if x1 < mn {
+			mn = x1
+		}
+		if x1 > mx {
+			mx = x1
+		}
+		if x2 < mn {
+			mn = x2
+		}
+		if x2 > mx {
+			mx = x2
+		}
+		if x3 < mn {
+			mn = x3
+		}
+		if x3 > mx {
+			mx = x3
+		}
+	}
+	sum = (s0 + s1) + (s2 + s3)
+	for ; i < len(v); i++ {
+		x := v[i]
+		sum += x
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return sum, mn, mx
 }
 
 // mergeAcc folds one morsel partial into the scan result, touching only the

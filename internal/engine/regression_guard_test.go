@@ -1,0 +1,79 @@
+package engine
+
+// The bench-regression guard for the full-scan speed wall: a CI smoke that
+// re-measures the filters=0 ScanUnit cost of the vectorized substrate
+// relative to the naive reference and fails when the blessed ratio recorded
+// in testdata/bench_baseline.json regresses by more than 20%. The guard
+// compares a ratio instead of absolute nanoseconds so it holds on any CI
+// host speed; both substrates run on the same box in the same process, so
+// host noise divides out. Gated behind BENCH_GUARD=1 because ~100 timed
+// full scans are too slow (and too flaky under -race) for the ordinary
+// test run.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+type benchBaseline struct {
+	Description string             `json:"description"`
+	Ratios      map[string]float64 `json:"scan_unit_filters0_ratio"`
+}
+
+// guardIters mirrors -benchtime=100x: enough iterations that a single
+// scheduler hiccup cannot dominate the measurement, few enough that the
+// guard stays a smoke test.
+const guardIters = 100
+
+func timeScanUnit(t *testing.T, sub Substrate, iters int) time.Duration {
+	t.Helper()
+	// One untimed warm-up scan per substrate: first touch builds dictionaries,
+	// posting lists and zone maps, which are one-off costs the steady-state
+	// ratio must not include.
+	if _, _, err := sub.ScanUnit(nil, "DimA"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := sub.ScanUnit(nil, "DimA"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+func TestScanUnitFilters0RegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	data, err := os.ReadFile("testdata/bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	for _, card := range []string{"small", "large"} {
+		blessed, ok := base.Ratios[card]
+		if !ok || blessed <= 0 {
+			t.Fatalf("baseline has no blessed ratio for table %q", card)
+		}
+		tab := benchTable(card)
+		vecNs := timeScanUnit(t, NewColumnarSubstrate(tab, WithScanParallelism(1)), guardIters)
+		refNs := timeScanUnit(t, NewReferenceSubstrate(tab, nil), guardIters)
+		if refNs <= 0 {
+			t.Fatalf("table %s: reference scan measured %v", card, refNs)
+		}
+		ratio := float64(vecNs) / float64(refNs)
+		limit := blessed * 1.2
+		t.Logf("table %s: vec %v / ref %v over %d iters -> ratio %.3f (blessed %.2f, limit %.3f)",
+			card, vecNs, refNs, guardIters, ratio, blessed, limit)
+		if ratio > limit {
+			t.Errorf("table %s: filters=0 ScanUnit regressed: vec/ref ratio %.3f exceeds blessed %.2f x 1.2 = %.3f",
+				card, ratio, blessed, limit)
+		}
+	}
+}

@@ -71,6 +71,13 @@ const (
 	// PlanResidual always drives off the most selective posting list and
 	// verifies the remaining filters row by row (the legacy strategy).
 	PlanResidual
+	// PlanZone always scans via the zone maps: whole morsel-sized blocks
+	// whose per-dimension min/max code range excludes any filter value are
+	// skipped, and every filter is verified per row across the surviving
+	// blocks. PlanAuto considers this strategy for multi-filter subspaces
+	// when the surviving blocks hold no more rows than the most selective
+	// posting list; forcing it exists for tests and benches.
+	PlanZone
 )
 
 // DefaultMorselSize is the fixed morsel width of the parallel scan pipeline,
@@ -228,11 +235,13 @@ type residualFilter struct {
 // number of rows the scan visits — the quantity the meter charges and
 // PlannedRows predicts.
 type scanPlan struct {
-	full        bool           // unfiltered: iterate every table row
-	drive       []int32        // rows to visit when !full (may be empty)
-	rest        []residualFilter // residual filters (residual plans only)
-	rows        int            // rows visited = len(drive), or table rows when full
+	full        bool             // unfiltered: iterate every table row
+	drive       []int32          // rows to visit when !full && !zone (may be empty)
+	rest        []residualFilter // residual filters (residual and zone plans)
+	rows        int              // rows visited = len(drive), table rows when full, or block rows when zone
 	intersected bool
+	zone        bool    // drive the surviving zone blocks instead of a row list
+	zblocks     []int32 // zone plans: surviving block indices, ascending
 }
 
 // Plan-choice weights. A residual check costs random dictionary-code loads
@@ -244,6 +253,10 @@ type scanPlan struct {
 const (
 	residualCheckWeight = 4.0
 	kernelRowWeight     = 4.0
+	// A zone-plan check streams the dictionary-code columns sequentially
+	// instead of gathering through a posting list, so it is charged at half
+	// the residual weight.
+	zoneCheckWeight = 2.0
 )
 
 // planFor returns the memoized plan for s, building it on first use. Plans
@@ -272,16 +285,23 @@ func (c *ColumnarSubstrate) planFor(s model.Subspace) *scanPlan {
 //
 //   - no filters: full-table scan;
 //   - one filter: drive its posting list;
-//   - several filters: either intersect all posting lists (galloping/linear
-//     merge, see dataset.Intersect) and drive the exact matching row set, or
-//     drive the most selective list and verify the rest per row.
+//   - several filters: intersect all posting lists (galloping/linear merge,
+//     see dataset.Intersect) and drive the exact matching row set, drive the
+//     most selective list and verify the rest per row, or — when the zone
+//     maps prune the table below the most selective posting list — scan the
+//     surviving zone blocks sequentially, verifying every filter per row.
 //
 // The choice compares the merge cost estimate (dataset.IntersectCost)
-// against what residual verification would spend: one weighted check per
+// against what residual verification would spend — one weighted check per
 // driven row per residual filter, plus the kernel work on the rows the
 // intersection would have pruned (expected under the independence
-// assumption). Everything is a pure function of posting-list lengths, so the
-// plan — and the metered row count that follows from it — is deterministic.
+// assumption) — and against the analogous cost of the zone scan. The zone
+// strategy is only eligible when its surviving blocks hold no more rows
+// than the most selective posting list, so the metered row count (and
+// PlannedRows) never exceeds what the legacy drive would have charged.
+// Everything is a pure function of posting-list lengths and the immutable
+// zone maps, so the plan — and the metered row count that follows from it —
+// is deterministic.
 func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 	filters := resolveFilters(c.tab, s)
 	if len(filters) == 0 {
@@ -302,6 +322,9 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 		// scanned.
 		return &scanPlan{drive: []int32{}}
 	}
+	if c.mode == PlanZone {
+		return c.buildZonePlan(filters)
+	}
 	if len(filters) == 1 {
 		return &scanPlan{drive: lists[0], rows: lens[0]}
 	}
@@ -313,9 +336,17 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 		for _, l := range lens {
 			expected *= float64(l) / float64(c.tab.Rows())
 		}
-		residualCost := float64(lens[best]) * residualCheckWeight * float64(nRest)
-		prunedKernel := (float64(lens[best]) - expected) * kernelRowWeight
-		intersect = dataset.IntersectCost(lens...) < residualCost+prunedKernel
+		residualCost := float64(lens[best])*residualCheckWeight*float64(nRest) +
+			(float64(lens[best])-expected)*kernelRowWeight
+		intersectCost := dataset.IntersectCost(lens...)
+		if blocks, zrows := c.zoneBlocks(filters); zrows <= lens[best] {
+			zoneCost := float64(zrows)*zoneCheckWeight*float64(len(filters)) +
+				(float64(zrows)-expected)*kernelRowWeight
+			if zoneCost < intersectCost && zoneCost < residualCost {
+				return c.finishZonePlan(filters, blocks, zrows)
+			}
+		}
+		intersect = intersectCost < residualCost
 	}
 	if intersect {
 		drive := dataset.Intersect(lists...)
@@ -331,6 +362,58 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 	}
 	c.obs.Count("engine.physical.plan_residual", 1)
 	return &scanPlan{drive: lists[best], rest: rest, rows: lens[best]}
+}
+
+// zoneBlocks computes the zone-surviving blocks for a filter set: the
+// morsel-sized blocks whose per-dimension [min, max] code range admits every
+// filter value, plus the total row count those blocks hold. Zone maps are
+// built lazily per column and cached (see dataset.DimColumn.Zones).
+func (c *ColumnarSubstrate) zoneBlocks(filters []filterSpec) (blocks []int32, zrows int) {
+	rows := c.tab.Rows()
+	nb := (rows + c.morsel - 1) / c.morsel
+	zms := make([]*dataset.ZoneMap, len(filters))
+	for i, f := range filters {
+		zms[i] = f.col.Zones(c.morsel)
+	}
+	for b := 0; b < nb; b++ {
+		keep := true
+		for i, f := range filters {
+			if !zms[i].Contains(b, f.code) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		blocks = append(blocks, int32(b))
+		hi := (b + 1) * c.morsel
+		if hi > rows {
+			hi = rows
+		}
+		zrows += hi - b*c.morsel
+	}
+	return blocks, zrows
+}
+
+// finishZonePlan assembles the zone plan for the surviving blocks: every
+// filter becomes a residual check over the blocks' contiguous rows.
+func (c *ColumnarSubstrate) finishZonePlan(filters []filterSpec, blocks []int32, zrows int) *scanPlan {
+	rest := make([]residualFilter, len(filters))
+	for i, f := range filters {
+		rest[i] = residualFilter{codes: f.col.Codes(), code: f.code}
+	}
+	nb := (c.tab.Rows() + c.morsel - 1) / c.morsel
+	c.obs.Count("engine.physical.plan_zone", 1)
+	c.obs.Count("engine.physical.blocks_skipped", int64(nb-len(blocks)))
+	return &scanPlan{zone: true, zblocks: blocks, rest: rest, rows: zrows}
+}
+
+// buildZonePlan is the forced-PlanZone strategy: zone-prune and verify every
+// filter per row, regardless of cost.
+func (c *ColumnarSubstrate) buildZonePlan(filters []filterSpec) *scanPlan {
+	blocks, zrows := c.zoneBlocks(filters)
+	return c.finishZonePlan(filters, blocks, zrows)
 }
 
 // PlannedRows implements RowPlanner: the exact rows a unit scan under s

@@ -269,6 +269,7 @@ type recordJSON struct {
 	Seq         int64  `json:"seq"`
 	Produced    int    `json:"produced"`
 	Panicked    bool   `json:"panicked,omitempty"`
+	Cut         bool   `json:"cut,omitempty"`
 	CostNanos   int64  `json:"cost_nanos"`
 	Results     int    `json:"results"`
 	FailedUnits int64  `json:"failed_units"`
@@ -333,6 +334,9 @@ func (m *Miner) restoreSnapshotPayload(payload []byte, patternQ, miQ workQueue) 
 	for _, mi := range snap.Results {
 		m.results[mi.Key()] = mi
 	}
+	// topScores is derived state (the top-K committed scores), so it is
+	// rebuilt rather than serialized.
+	m.rebuildTopScores()
 	for _, j := range snap.Pending {
 		u, err := decodeUnit(j)
 		if err != nil {
@@ -356,6 +360,7 @@ func (m *Miner) encodeRecord(c *completion) recordJSON {
 		Seq:         c.unit.seq,
 		Produced:    len(c.produced),
 		Panicked:    c.panicked,
+		Cut:         c.cut,
 		CostNanos:   m.acct.meter.CostNanos(),
 		Results:     len(m.results),
 		FailedUnits: m.acct.failedUnits,
@@ -398,10 +403,11 @@ func (m *Miner) fingerprint() string {
 	for _, c := range p.Custom {
 		w("custom", c.Name, strconv.FormatBool(c.TemporalOnly))
 	}
-	w("miner", fmt.Sprintf("%d %d %g %g %t %t %t %g %t",
+	w("miner", fmt.Sprintf("%d %d %g %g %t %t %t %g %t %d",
 		m.cfg.MaxSubspaceFilters, m.cfg.MaxBreakdownCardinality, m.cfg.MinImpact,
 		m.cfg.MinSubspaceImpact, m.cfg.UsePriorityQueues, m.cfg.EnablePruning1,
-		m.cfg.EnablePruning2, m.cfg.DegradedThreshold, m.cfg.PatternsFirst))
+		m.cfg.EnablePruning2, m.cfg.DegradedThreshold, m.cfg.PatternsFirst,
+		m.cfg.TopK))
 	qc := m.eng.QueryCache()
 	w("qcache", fmt.Sprintf("%t %d", qc.Enabled(), qc.MaxBytes()))
 	w("pcache", fmt.Sprintf("%t %d", m.pcache.Enabled(), m.pcache.MaxBytes()))

@@ -63,6 +63,20 @@ type Config struct {
 	// for Pruning 2 to remain meaningful (an HDS's impact is never below its
 	// anchor subspace's). Set negative to disable.
 	MinSubspaceImpact float64
+	// TopK, when positive, enables S*-bounded early termination: once K
+	// MetaInsights are committed, a MetaInsight compute unit whose score
+	// upper bound (core.ScoreUpperBound, from Lemma 4.1's S* and the
+	// cheapest-exception entropy floor) cannot strictly beat the K-th best
+	// committed score is cut before evaluation — none of its sibling scans
+	// ever reach the engine and none of its cost is charged. The K-th best
+	// score is monotone nondecreasing over commits and every cut is decided
+	// on the dispatcher's canonical commit path, so results and statistics
+	// remain bit-identical for any worker count, and every MetaInsight whose
+	// score strictly exceeds the run's final K-th best score is still mined.
+	// Zero (the default) disables termination; callers that rank more than K
+	// insights, or rank with diversity weights rather than raw score, should
+	// size TopK accordingly or leave it off.
+	TopK int
 	// Workers is the number of evaluation goroutines; the paper uses 8.
 	// Worker count affects only wall-clock time: results, statistics and
 	// budget consumption are identical for any value.
@@ -171,6 +185,11 @@ type Stats struct {
 	PatternsFound    int64 // valid (scope, type) basic data patterns
 	Pruned1          int64 // HDP evaluations cut short by Pruning 1
 	Pruned2          int64 // MetaInsight units discarded by Pruning 2
+	// SStarCut counts MetaInsight compute units cut by S*-bounded early
+	// termination (Config.TopK): their score upper bound could not beat the
+	// K-th best committed score, so they were dropped without evaluation —
+	// no queries, no budget, no MetaInsightUnits increment.
+	SStarCut int64
 	PrefetchFailures int64 // augmented prefetches that fell back to basic queries
 	// FailedUnits counts queries that permanently failed (injected permanent
 	// faults, exhausted retries, deadline overruns, or real substrate
@@ -257,6 +276,10 @@ type Miner struct {
 	stats   Stats
 	seq     int64
 	acct    *accounting
+	// topScores holds the scores of the best min(TopK, committed) results,
+	// sorted descending — the termination threshold of Config.TopK. Derived
+	// from results, so a snapshot restore rebuilds it instead of saving it.
+	topScores []float64
 	// commitIndex counts unit commits across the run's whole lifetime
 	// (snapshot base + replayed + live); the checkpoint journal and snapshot
 	// cadence key off it.
@@ -322,6 +345,10 @@ type completion struct {
 	// events, no children, no MetaInsight.
 	panicked bool
 	panicVal string
+	// cut marks a unit S*-terminated at dispatch time without execution; the
+	// commit path re-derives the same verdict for units that did execute (the
+	// K-th best score is monotone, so a dispatch-time cut never un-cuts).
+	cut bool
 }
 
 // specEntry tracks one dispatched-but-uncommitted unit.
@@ -502,6 +529,15 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 		if inflight < m.cfg.Workers && len(spec) < specCap {
 			if q := nextReady(); q != nil {
 				u := q.Peek()
+				if m.sstarCut(u) {
+					// Dispatch-time pre-filter: the K-th best score only
+					// grows, so the cut still holds at the unit's canonical
+					// commit slot. Skip the worker round-trip entirely and
+					// let commit record the cut in its slot.
+					q.Pop()
+					spec = append(spec, &specEntry{unit: u, comp: &completion{unit: u, cut: true}})
+					continue
+				}
 				select {
 				case workCh <- u:
 					q.Pop()
@@ -548,6 +584,47 @@ func (m *Miner) RunContext(ctx context.Context) *Result {
 	return m.finish()
 }
 
+// sstarCut reports whether a MetaInsight unit provably cannot enter the
+// current top K: its score upper bound does not exceed the K-th best
+// committed score (ties lose — an equal-scoring insight cannot displace one
+// already committed). The threshold is monotone nondecreasing over commits,
+// so a verdict reached at dispatch time still holds at the unit's canonical
+// commit slot, where the decision is authoritative.
+func (m *Miner) sstarCut(u *workUnit) bool {
+	if m.cfg.TopK <= 0 || u.kind != kindMetaInsight || len(m.topScores) < m.cfg.TopK {
+		return false
+	}
+	ub := core.ScoreUpperBound(u.impactHDS, len(u.hds.Scopes), m.cfg.Score)
+	return ub <= m.topScores[m.cfg.TopK-1]
+}
+
+// recordTopScore folds a newly stored result's score into the sorted top-K
+// threshold list (no-op when S* termination is off).
+func (m *Miner) recordTopScore(s float64) {
+	if m.cfg.TopK <= 0 {
+		return
+	}
+	i := sort.Search(len(m.topScores), func(i int) bool { return m.topScores[i] < s })
+	if i >= m.cfg.TopK {
+		return
+	}
+	m.topScores = append(m.topScores, 0)
+	copy(m.topScores[i+1:], m.topScores[i:])
+	m.topScores[i] = s
+	if len(m.topScores) > m.cfg.TopK {
+		m.topScores = m.topScores[:m.cfg.TopK]
+	}
+}
+
+// rebuildTopScores rederives the termination threshold from the committed
+// results — the snapshot-restore path, where topScores is not serialized.
+func (m *Miner) rebuildTopScores() {
+	m.topScores = m.topScores[:0]
+	for _, mi := range m.results {
+		m.recordTopScore(mi.Score)
+	}
+}
+
 // canonicalBefore reports whether a precedes b in the canonical processing
 // order: priority descending with seq as tie-breaker under priority queues,
 // emission (seq) order under FIFO queues. It matches the queues' ordering.
@@ -578,6 +655,25 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	}
 	if traced {
 		o.Event(obs.EvPop, describeUnit(c.unit), c.unit.kind.String(), 0)
+	}
+	if c.cut || m.sstarCut(c.unit) {
+		// S*-terminated at the canonical slot. The unit is dropped wholesale:
+		// no usage replay, no budget charge, no kind counter — a single-worker
+		// run would have cut it before execution, so even a speculative
+		// evaluation (or panic) on some worker is discarded, keeping the
+		// commit stream worker-count-invariant.
+		c.cut, c.panicked = true, false
+		c.produced, c.events, c.mi = nil, nil, nil
+		m.stats.SStarCut++
+		if o != nil {
+			o.Count("miner.sstar_cut", 1)
+			if traced {
+				o.Event(obs.EvPrune, describeUnit(c.unit), "sstar", 0)
+			}
+			o.Observe("miner.commit.cost_units", commitCostBounds, 0)
+			o.Phase(obs.PhaseCommit, time.Since(t0))
+		}
+		return
 	}
 	if c.panicked {
 		// Failed-and-accounted: the unit's kind counter still advances (it
@@ -641,6 +737,16 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 				}
 				continue
 			}
+			if m.sstarCut(u) {
+				// Emission-time S* cut: the candidate is dead on arrival
+				// against the current top K, so it never enters the queue.
+				m.stats.SStarCut++
+				o.Count("miner.sstar_cut", 1)
+				if traced {
+					o.Event(obs.EvPrune, u.miKey, "sstar", 0)
+				}
+				continue
+			}
 			m.stats.EmittedMIUnits++
 			m.seq++
 			u.seq = m.seq
@@ -655,6 +761,7 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	if c.mi != nil {
 		if _, exists := m.results[c.mi.Key()]; !exists {
 			m.results[c.mi.Key()] = c.mi
+			m.recordTopScore(c.mi.Score)
 			o.Count("miner.stored", 1)
 			if traced {
 				o.Event(obs.EvStore, c.mi.Key(), fmt.Sprintf("score=%.6f", c.mi.Score), 0)

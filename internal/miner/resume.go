@@ -153,7 +153,16 @@ func (m *Miner) replayRecord(rec checkpoint.Record, patternQ, miQ workQueue) err
 			ErrReplayDiverged, rec.Index, want.Kind, want.Unit, want.Seq,
 			u.kind, describeUnit(u), u.seq)
 	}
-	c := m.safeProcess(u)
+	var c *completion
+	if m.sstarCut(u) {
+		// The original run cut this unit on its canonical commit path (the
+		// replayed state is exactly that path's state), so replay must not
+		// re-execute it: a cut unit ran no queries the first time, and its
+		// journal record says so.
+		c = &completion{unit: u, cut: true}
+	} else {
+		c = m.safeProcess(u)
+	}
 	m.commit(c, miQ, patternQ)
 	m.commitIndex++
 	if got := m.encodeRecord(c); got != want {

@@ -15,6 +15,9 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "units[expand=%d pattern=%d mi=%d emitted=%d]",
 		s.ExpandUnits, s.DataPatternUnits, s.MetaInsightUnits, s.EmittedMIUnits)
 	fmt.Fprintf(&b, " patterns=%d pruned[p1=%d p2=%d]", s.PatternsFound, s.Pruned1, s.Pruned2)
+	if s.SStarCut > 0 {
+		fmt.Fprintf(&b, " sstar-cut=%d", s.SStarCut)
+	}
 	fmt.Fprintf(&b, " queries[exec=%d aug=%d served=%d]",
 		s.ExecutedQueries, s.AugmentedQueries, s.CacheServed)
 	fmt.Fprintf(&b, " cost=%.1f qcache=%.1f%% pcache=%.1f%%",
@@ -74,6 +77,7 @@ type statsJSON struct {
 	PatternsFound    int64          `json:"patterns_found"`
 	Pruned1          int64          `json:"pruned_1"`
 	Pruned2          int64          `json:"pruned_2"`
+	SStarCut         int64          `json:"sstar_cut"`
 	PrefetchFailures int64          `json:"prefetch_failures"`
 	FailedUnits      int64          `json:"failed_units"`
 	Retries          int64          `json:"retries"`
@@ -105,6 +109,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		PatternsFound:    s.PatternsFound,
 		Pruned1:          s.Pruned1,
 		Pruned2:          s.Pruned2,
+		SStarCut:         s.SStarCut,
 		PrefetchFailures: s.PrefetchFailures,
 		FailedUnits:      s.FailedUnits,
 		Retries:          s.Retries,
@@ -139,6 +144,7 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		PatternsFound:    j.PatternsFound,
 		Pruned1:          j.Pruned1,
 		Pruned2:          j.Pruned2,
+		SStarCut:         j.SStarCut,
 		PrefetchFailures: j.PrefetchFailures,
 		FailedUnits:      j.FailedUnits,
 		Retries:          j.Retries,

@@ -1,0 +1,28 @@
+package miner
+
+import (
+	"testing"
+
+	"metainsight/internal/engine"
+)
+
+// TestReferenceSubstrateStatsIdentity runs the same mine over the vectorized
+// columnar substrate and the retained naive ReferenceSubstrate and demands
+// identical ordered results and bit-identical Stats. Beyond the engine-level
+// differential tests (byte-identical units per scan), this pins the whole
+// mining control flow — unit counts, pruning, query/cache accounting and the
+// metered cost — to the substrate-independent contract: the physical scan
+// layer may only change how fast units are produced, never what is mined or
+// how the run is accounted.
+func TestReferenceSubstrateStatsIdentity(t *testing.T) {
+	tab := plantedTable(t)
+	vec := runMiner(t, tab, nil)
+	ref := runMiner(t, tab, func(c *Config, e *engine.Config) {
+		e.Substrate = engine.NewReferenceSubstrate(tab, nil)
+	})
+	assertSameOrderedKeys(t, "substrate", vec, ref)
+	assertSameStats(t, "substrate", vec.Stats, ref.Stats)
+	if vec.Stats.ExecutedQueries == 0 {
+		t.Fatal("no queries executed: the identity test is vacuous")
+	}
+}

@@ -378,6 +378,19 @@ func WithMaxSubspaceFilters(n int) Option {
 	return func(o *analyzerOptions) { o.minerCfg.MaxSubspaceFilters = n }
 }
 
+// WithTopKPruning enables S*-bounded early termination: once k MetaInsights
+// are committed, candidates whose score upper bound (Lemma 4.1's S* combined
+// with the impact term of Equation 18) cannot strictly beat the k-th best
+// committed score are cut before evaluation, so their sibling scans never
+// run. Every MetaInsight whose score strictly exceeds the run's final k-th
+// best score is still mined, so the score-ordered top k is preserved; mine
+// with headroom (e.g. 2–4× the suggestion count) when ranking with diversity
+// weights, which may promote lower-scoring insights. Zero (the default)
+// disables termination and mines the complete candidate set.
+func WithTopKPruning(k int) Option {
+	return func(o *analyzerOptions) { o.minerCfg.TopK = k }
+}
+
 // WithoutQueryCache disables the query cache (ablation runs).
 func WithoutQueryCache() Option {
 	return func(o *analyzerOptions) { o.disableQC = true }
