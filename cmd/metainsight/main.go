@@ -7,7 +7,8 @@
 //	            [-topk-prune 40]
 //	            [-flat] [-max-card 50] [-trace run.jsonl] [-metrics]
 //	            [-checkpoint dir [-checkpoint-every 256] [-resume]]
-//	            [-scan-parallelism 4] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-scan-parallelism 4] [-shards 4 [-shard-faults spec]]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Exit codes:
 //
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -58,6 +60,9 @@ func run() int {
 		ckEvery = fs.Int64("checkpoint-every", 256, "commits between checkpoint snapshots (with -checkpoint)")
 		resume  = fs.Bool("resume", false, "resume the run recorded in -checkpoint instead of starting fresh")
 		scanPar = fs.Int("scan-parallelism", 1, "goroutines per physical scan (results are bit-identical for any value)")
+		shards  = fs.Int("shards", 0, "partition the dataset into this many row-range shards scanned concurrently (results are bit-identical for any value; 0 = unsharded)")
+		shBlock = fs.Int("shard-block", 0, "block (morsel) size in rows of sharded execution; shard boundaries align to it (0 = engine default 8192; small tables need a smaller block to yield multiple shards)")
+		shFault = fs.String("shard-faults", "", "per-shard fault plan for sharded execution, e.g. \"seed=7,transient=0.05,slow-shard=2,slow-factor=50,speculate-after=10\" (requires -shards; keys: the -faults keys plus slow-shard, slow-factor, speculate-after)")
 		topKCut = fs.Int("topk-prune", 0, "S*-bounded early termination: skip candidates that provably cannot enter the score top k (0 = off; size with headroom over -k)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 		memProf = fs.String("memprofile", "", "write a heap profile taken after mining to this file")
@@ -146,65 +151,76 @@ func run() int {
 		fmt.Printf("  %-30s %s\n", f.Name, f.Kind)
 	}
 
-	opts := []metainsight.Option{
+	opts := []metainsight.SessionOption{
 		metainsight.WithTau(*tau),
-		metainsight.WithWorkers(*workers),
 		metainsight.WithMaxSubspaceFilters(*depth),
-		metainsight.WithScanParallelism(*scanPar),
-	}
-	if *budget > 0 {
-		opts = append(opts, metainsight.WithTimeBudget(*budget))
+		metainsight.WithExec(metainsight.ExecConfig{
+			Workers:         *workers,
+			ScanParallelism: *scanPar,
+			Shards:          *shards,
+			ShardBlockRows:  *shBlock,
+		}),
 	}
 	if *topKCut > 0 {
 		opts = append(opts, metainsight.WithTopKPruning(*topKCut))
 	}
+	resilience := metainsight.ResilienceConfig{}
 	if *faultsS != "" {
 		policy, retry, err := metainsight.ParseFaultSpec(*faultsS)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "metainsight:", err)
 			return 1
 		}
-		opts = append(opts,
-			metainsight.WithFaultPolicy(policy),
-			metainsight.WithRetryPolicy(retry))
+		resilience.Faults, resilience.Retry = policy, retry
 	}
+	if *shFault != "" {
+		plan, err := metainsight.ParseShardFaultSpec(*shFault)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
+			return 1
+		}
+		resilience.ShardFaults = plan
+	}
+	opts = append(opts, metainsight.WithResilience(resilience))
 	if *qcBytes > 0 || *pcBytes > 0 {
 		opts = append(opts, metainsight.WithCacheBytes(*qcBytes, *pcBytes))
 	}
 	if *ckDir != "" {
-		if *resume {
-			opts = append(opts, metainsight.ResumeFromCheckpoint(*ckDir))
-		} else {
-			opts = append(opts, metainsight.WithCheckpoint(*ckDir, *ckEvery))
-		}
+		opts = append(opts, metainsight.WithDurability(metainsight.DurabilityConfig{
+			CheckpointDir: *ckDir,
+			Every:         *ckEvery,
+			Resume:        *resume,
+		}))
 	}
-	var ob *metainsight.Observer
+	req := metainsight.Request{
+		TopK:   *k,
+		Budget: metainsight.Budget{Time: *budget},
+	}
 	if *trace != "" || *metrics {
 		obOpts := metainsight.ObserverOptions{}
 		if *trace != "" {
 			obOpts.TraceCapacity = 1 << 16
 		}
-		ob = metainsight.NewObserver(obOpts)
-		opts = append(opts, metainsight.WithObserver(ob))
+		req.Observer = metainsight.NewObserver(obOpts)
 	}
-	a, err := metainsight.NewAnalyzer(tab, opts...)
+	sess, err := metainsight.NewSession(tab, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metainsight:", err)
 		return 1
 	}
 	start := time.Now()
-	result := a.Mine()
+	an, err := sess.Analyze(context.Background(), req)
 	degraded := false
-	if result.Err != nil {
-		if !errors.Is(result.Err, metainsight.ErrDegraded) {
-			// A hard failure (checkpoint I/O, resume mismatch, replay
-			// divergence): nothing below is trustworthy.
-			fmt.Fprintln(os.Stderr, "metainsight:", result.Err)
+	if err != nil {
+		if an == nil || !errors.Is(err, metainsight.ErrDegraded) {
+			// A hard failure (bad options, checkpoint I/O, resume mismatch,
+			// replay divergence): nothing below is trustworthy.
+			fmt.Fprintln(os.Stderr, "metainsight:", err)
 			return 1
 		}
 		degraded = true
 	}
-	top := a.Rank(result, *k)
+	result, top, ob := an.Result, an.Insights, req.Observer
 
 	// observability epilogue: trace file, metrics snapshot, stats one-liner.
 	// In JSON mode the extras go to stderr so stdout stays parseable.
@@ -229,7 +245,7 @@ func run() int {
 				ob.Trace().Len(), *trace, ob.Trace().Dropped())
 		}
 		if *metrics {
-			fmt.Fprintf(w, "\n%s\n", a.Snapshot().Text())
+			fmt.Fprintf(w, "\n%s\n", an.Snapshot().Text())
 		}
 		fmt.Fprintf(w, "\nstats: %s\n", result.Stats)
 		if degraded {
@@ -267,7 +283,7 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		if err := a.WriteReport(f, top, tab.Name()); err != nil {
+		if err := an.WriteReport(f, tab.Name()); err != nil {
 			f.Close()
 			return fail(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,16 +42,19 @@ func main() {
 		},
 	}
 
-	a, err := metainsight.NewAnalyzer(tab,
+	s, err := metainsight.NewSession(tab,
 		metainsight.WithMeasures(metainsight.Sum("Revenue")),
 		metainsight.WithCustomPatternTypes(weekendLift),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	result := a.Mine()
-	fmt.Printf("mined %d MetaInsights (built-in + custom types)\n\n", len(result.MetaInsights))
-	for i, in := range a.Rank(result, 6) {
+	an, err := s.Analyze(context.Background(), metainsight.Request{TopK: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d MetaInsights (built-in + custom types)\n\n", len(an.Result.MetaInsights))
+	for i, in := range an.Insights {
 		fmt.Printf("%d. [score %.3f] %s\n", i+1, in.Score(), in.Description())
 	}
 }

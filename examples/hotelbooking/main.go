@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,14 +20,22 @@ func main() {
 	fmt.Printf("dataset %q: %d rows × %d cols (%d cells)\n\n",
 		tab.Name(), tab.Rows(), tab.Cols(), tab.Cells())
 
-	// Reference run: no budget, all optimizations on.
-	ref, err := metainsight.NewAnalyzer(tab)
+	// One session serves every run below: the dataset is loaded and indexed
+	// once, while each Analyze call gets fresh caches and budgets.
+	ctx := context.Background()
+	sess, err := metainsight.NewSession(tab)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Reference run: no budget, all optimizations on.
 	start := time.Now()
-	full := ref.Mine()
+	ref, err := sess.Analyze(ctx, metainsight.Request{TopK: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fullWall := time.Since(start)
+	full := ref.Result
 	golden := map[string]bool{}
 	for _, mi := range full.MetaInsights {
 		golden[mi.Key()] = true
@@ -37,25 +46,26 @@ func main() {
 	fmt.Printf("%-22s %12s %10s %10s\n", "budget (cost units)", "discovered", "precision", "wall")
 	for _, frac := range []float64{0.05, 0.15, 0.35, 0.70, 1.0} {
 		budget := frac * full.Stats.CostUsed
-		a, err := metainsight.NewAnalyzer(tab, metainsight.WithCostBudget(budget))
+		t0 := time.Now()
+		an, err := sess.Analyze(ctx, metainsight.Request{
+			Budget: metainsight.Budget{Cost: budget},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		t0 := time.Now()
-		res := a.Mine()
 		hit := 0
-		for _, mi := range res.MetaInsights {
+		for _, mi := range an.Result.MetaInsights {
 			if golden[mi.Key()] {
 				hit++
 			}
 		}
 		fmt.Printf("%-22.0f %12d %10.3f %10v\n",
-			budget, len(res.MetaInsights), float64(hit)/float64(len(golden)),
+			budget, len(an.Result.MetaInsights), float64(hit)/float64(len(golden)),
 			time.Since(t0).Round(time.Millisecond))
 	}
 
 	fmt.Println("\ntop suggestions from the unbudgeted run:")
-	for i, in := range ref.Rank(full, 5) {
+	for i, in := range ref.Insights {
 		fmt.Printf("%d. [score %.3f] %s\n", i+1, in.Score(), in.Description())
 	}
 }

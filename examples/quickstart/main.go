@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strconv"
@@ -39,11 +40,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	insights, err := metainsight.Analyze(tab, 5,
-		metainsight.WithMeasures(metainsight.Sum("Sales")))
+	s, err := metainsight.NewSession(tab)
 	if err != nil {
 		log.Fatal(err)
 	}
+	an, err := s.Analyze(context.Background(), metainsight.Request{
+		TopK:     5,
+		Measures: []metainsight.Measure{metainsight.Sum("Sales")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	insights := an.Insights
 
 	fmt.Printf("Top %d MetaInsights over %q (%d rows):\n\n", len(insights), tab.Name(), tab.Rows())
 	for i, in := range insights {

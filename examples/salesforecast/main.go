@@ -1,5 +1,5 @@
 // Salesforecast: a domain-specific walkthrough on a programmatically built
-// multi-measure sales dataset. It shows the Analyzer API end to end —
+// multi-measure sales dataset. It shows the Session API end to end —
 // custom measure sets, a wall-clock budget, mining statistics, structured
 // access to commonnesses and exceptions, and ad-hoc follow-up queries
 // through the engine (the "exception as a new entry point" loop of the
@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,25 +20,31 @@ func main() {
 	tab := buildDataset()
 	fmt.Printf("dataset %q: %d rows × %d cols\n\n", tab.Name(), tab.Rows(), tab.Cols())
 
-	a, err := metainsight.NewAnalyzer(tab,
-		metainsight.WithMeasures(
-			metainsight.Sum("Sales"),
-			metainsight.Sum("Units"),
-			metainsight.Avg("Price"),
-		),
-		metainsight.WithTimeBudget(5*time.Second),
-		metainsight.WithWorkers(8),
+	s, err := metainsight.NewSession(tab,
+		metainsight.WithExec(metainsight.ExecConfig{Workers: 8}),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	an, err := s.Analyze(context.Background(), metainsight.Request{
+		TopK: 8,
+		Measures: []metainsight.Measure{
+			metainsight.Sum("Sales"),
+			metainsight.Sum("Units"),
+			metainsight.Avg("Price"),
+		},
+		Budget: metainsight.Budget{Time: 5 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	result := a.Mine()
+	result := an.Result
 	fmt.Printf("mined %d candidates (%d basic patterns, %d queries executed, %d served from cache)\n\n",
 		len(result.MetaInsights), result.Stats.PatternsFound,
 		result.Stats.ExecutedQueries, result.Stats.CacheServed)
 
-	top := a.Rank(result, 8)
+	top := an.Insights
 	for i, in := range top {
 		fmt.Printf("%d. [score %.3f] %s\n", i+1, in.Score(), in.Description())
 	}
@@ -51,7 +58,7 @@ func main() {
 		}
 		mi := in.MetaInsight()
 		fmt.Printf("\nfollow-up on: %s\n", in.Description())
-		eng := a.Engine()
+		eng := an.Engine()
 		for _, exc := range mi.Exceptions {
 			dp := mi.HDP.Patterns[exc.Index]
 			series, err := eng.BasicQuery(dp.Scope)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,15 +21,16 @@ func main() {
 	tab := workload.RemoteWorkSurvey()
 	fmt.Printf("dataset %q: %d respondents × %d questions\n\n", tab.Name(), tab.Rows(), tab.Cols())
 
-	a, err := metainsight.NewAnalyzer(tab,
-		// Question-pair cross-analysis = depth-1 subspaces.
-		metainsight.WithMaxSubspaceFilters(1),
-	)
+	s, err := metainsight.NewSession(tab)
 	if err != nil {
 		log.Fatal(err)
 	}
-	result := a.Mine()
-	top := a.Rank(result, 10)
+	// Question-pair cross-analysis = depth-1 subspaces.
+	an, err := s.Analyze(context.Background(), metainsight.Request{TopK: 10, MaxFilters: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, top := an.Result, an.Insights
 
 	fmt.Printf("top %d MetaInsights of %d candidates:\n\n", len(top), len(result.MetaInsights))
 	for i, in := range top {

@@ -1,0 +1,107 @@
+// Package apicheck gates the repo's own binaries and examples on the new
+// public surface: cmd/ and examples/ must not call the deprecated
+// Analyzer-era entry points (NewAnalyzer, Analyze, AnalyzeContext). The
+// check is AST-based so it needs no third-party linters; scripts/vet.sh
+// additionally runs staticcheck's deprecation analysis when the tool is
+// installed.
+package apicheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deprecated lists the root-package identifiers cmd/ and examples/ must not
+// reference. Keep in sync with the Deprecated markers in metainsight.go.
+var deprecated = map[string]bool{
+	"NewAnalyzer":    true,
+	"Analyze":        true,
+	"AnalyzeContext": true,
+}
+
+const modulePath = "metainsight"
+
+func TestNoDeprecatedAPIUsage(t *testing.T) {
+	root := repoRoot(t)
+	for _, dir := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(filepath.Join(root, dir), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			checkFile(t, path)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+}
+
+func checkFile(t *testing.T, path string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Errorf("parse %s: %v", path, err)
+		return
+	}
+	// Names the root metainsight package is imported under in this file.
+	pkgNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		ip, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || ip != modulePath {
+			continue
+		}
+		name := "metainsight"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		pkgNames[name] = true
+	}
+	if len(pkgNames) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !pkgNames[id.Name] || !deprecated[sel.Sel.Name] {
+			return true
+		}
+		pos := fset.Position(sel.Pos())
+		t.Errorf("%s:%d: deprecated metainsight.%s; use NewSession / Session.Analyze",
+			pos.Filename, pos.Line, sel.Sel.Name)
+		return true
+	})
+}
+
+// repoRoot walks up from this package to the directory holding go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above package directory")
+		}
+		dir = parent
+	}
+}

@@ -7,7 +7,10 @@ package dataset
 // cached on the column; Table is immutable after Build, so the build is
 // idempotent and race-free under sync.Once.
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // postings holds the per-value row lists of one dimension column.
 type postings struct {
@@ -36,6 +39,14 @@ func (c *DimColumn) index2() *postings {
 }
 
 func (c *DimColumn) buildPostings() {
+	if c.parent != nil {
+		// Shard view: derive the lists from the parent's instead of a fresh
+		// counting pass. Each parent list is sorted, so the view's portion is
+		// one contiguous run found by binary search; rebasing to shard-local
+		// row ids is the only per-row work, and only for rows in the range.
+		c.post.rows = c.parent.sliceRows(int32(c.base), int32(c.base+len(c.codes)))
+		return
+	}
 	counts := make([]int32, len(c.dict))
 	for _, code := range c.codes {
 		counts[code]++
@@ -48,4 +59,25 @@ func (c *DimColumn) buildPostings() {
 		rows[code] = append(rows[code], int32(r))
 	}
 	c.post.rows = rows
+}
+
+// sliceRows returns, for every dictionary code, the parent rows in [lo, hi)
+// rebased to start at zero. It builds the parent's own postings on first use,
+// so all shard views of one table share a single O(rows) counting pass.
+func (c *DimColumn) sliceRows(lo, hi int32) [][]int32 {
+	c.index2().once.Do(c.buildPostings)
+	out := make([][]int32, len(c.dict))
+	for code, rows := range c.post.rows {
+		i := sort.Search(len(rows), func(k int) bool { return rows[k] >= lo })
+		j := sort.Search(len(rows), func(k int) bool { return rows[k] >= hi })
+		if i == j {
+			continue
+		}
+		seg := make([]int32, j-i)
+		for k, r := range rows[i:j] {
+			seg[k] = r - lo
+		}
+		out[code] = seg
+	}
+	return out
 }

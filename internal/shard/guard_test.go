@@ -1,0 +1,80 @@
+package shard
+
+// Bench-regression guard for the sharded scan path: re-measures the
+// filters=0 ScanUnit cost of the 4-shard substrate relative to the
+// unsharded vectorized substrate on the large bench table and fails when
+// the blessed ratio recorded in ../engine/testdata/bench_baseline.json
+// regresses by more than 20%. Like the engine guard it compares a ratio
+// measured in one process, so host speed divides out. Gated behind
+// BENCH_GUARD=1; the ordinary test run skips it.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"metainsight/internal/engine"
+	"metainsight/internal/workload"
+)
+
+type shardBenchBaseline struct {
+	Ratios map[string]float64 `json:"scan_unit_filters0_shard4_ratio"`
+}
+
+func TestShardedScanRegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	data, err := os.ReadFile("../engine/testdata/bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base shardBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	blessed, ok := base.Ratios["large"]
+	if !ok || blessed <= 0 {
+		t.Fatal("baseline has no blessed shard4 ratio for table large")
+	}
+	// The large bench table of the engine benchmarks and the bench harness.
+	tab := workload.Generate(workload.GenSpec{
+		Name: "bench-large", Seed: 67, Cards: []int{64, 24, 12},
+		Periods: 12, Measures: 2, RowsPerCell: 1,
+	})
+	sharded, err := New(tab, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := engine.NewColumnarSubstrate(tab, engine.WithScanParallelism(1))
+
+	const iters = 100
+	time4 := func(sub engine.Substrate) time.Duration {
+		// Untimed warm-up: first touch builds dictionaries, posting lists
+		// and zone maps, one-off costs the steady-state ratio must exclude.
+		if _, _, err := sub.ScanUnit(nil, "DimA"); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, _, err := sub.ScanUnit(nil, "DimA"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	shardNs := time4(sharded)
+	vecNs := time4(vec)
+	if vecNs <= 0 {
+		t.Fatalf("vectorized scan measured %v", vecNs)
+	}
+	ratio := float64(shardNs) / float64(vecNs)
+	limit := blessed * 1.2
+	t.Logf("shard4 %v / vec %v over %d iters -> ratio %.3f (blessed %.2f, limit %.3f)",
+		shardNs, vecNs, iters, ratio, blessed, limit)
+	if ratio > limit {
+		t.Errorf("filters=0 sharded ScanUnit regressed: shard4/vec ratio %.3f exceeds blessed %.2f x 1.2 = %.3f",
+			ratio, blessed, limit)
+	}
+}

@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"metainsight/internal/faults"
+)
+
+// ParseFaultPlan parses the -shard-faults CLI spec: every key of the
+// -faults spec (seed, transient, permanent, latency-rate, latency, attempts,
+// backoff, backoff-factor, max-backoff, jitter, deadline, breaker) applied
+// per shard, plus
+//
+//	slow-shard=N       mark shard N as a straggler (repeatable)
+//	slow-factor=F      straggler latency multiplier (default 10)
+//	speculate-after=C  re-issue a shard speculatively once its simulated
+//	                   cost exceeds C units (0 disables)
+//
+// e.g. "seed=7,transient=0.05,slow-shard=3,slow-factor=20,speculate-after=25".
+func ParseFaultPlan(spec string) (FaultPlan, error) {
+	var plan FaultPlan
+	var rest []string
+	for _, part := range strings.Split(strings.TrimSpace(spec), ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return FaultPlan{}, fmt.Errorf("shard: %q is not key=value", part)
+		}
+		switch strings.TrimSpace(key) {
+		case "slow-shard":
+			n, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil || n < 0 {
+				return FaultPlan{}, fmt.Errorf("shard: bad slow-shard %q", val)
+			}
+			plan.SlowShards = append(plan.SlowShards, n)
+		case "slow-factor":
+			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil || f < 0 {
+				return FaultPlan{}, fmt.Errorf("shard: bad slow-factor %q", val)
+			}
+			plan.SlowFactor = f
+		case "speculate-after":
+			f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+			if err != nil || f < 0 {
+				return FaultPlan{}, fmt.Errorf("shard: bad speculate-after %q", val)
+			}
+			plan.SpeculateAfter = f
+		default:
+			rest = append(rest, part)
+		}
+	}
+	pol, retry, err := faults.ParseSpec(strings.Join(rest, ","))
+	if err != nil {
+		return FaultPlan{}, err
+	}
+	plan.Policy, plan.Retry = pol, retry
+	return plan, nil
+}

@@ -13,23 +13,30 @@
 // function, the pattern-guided progressive miner with priority queues and
 // two caches, and the redundancy-aware top-k ranking algorithm.
 //
-// Quick start:
+// Quick start — a Session loads and indexes once and serves many analyses:
 //
 //	tab, err := metainsight.OpenCSV("sales.csv")
-//	insights, err := metainsight.Analyze(tab, 10)
-//	for _, in := range insights {
+//	s, err := metainsight.NewSession(tab)
+//	an, err := s.Analyze(ctx, metainsight.Request{TopK: 10})
+//	for _, in := range an.Insights {
 //		fmt.Println(in.Description())
 //	}
 //
-// For control over budgets, measures and hyper-parameters, build an
-// Analyzer:
+// Per-call knobs (budgets, measures, τ) travel in the Request;
+// construction-time settings are grouped into typed configs:
 //
-//	a, err := metainsight.NewAnalyzer(tab,
-//		metainsight.WithTimeBudget(5*time.Second),
-//		metainsight.WithTau(0.5),
+//	s, err := metainsight.NewSession(tab,
+//		metainsight.WithExec(metainsight.ExecConfig{Workers: 8, Shards: 4}),
 //	)
-//	result := a.Mine()
-//	top := a.Rank(result, 10)
+//	an, err := s.Analyze(ctx, metainsight.Request{
+//		TopK:   10,
+//		Budget: metainsight.Budget{Time: 5 * time.Second},
+//		Tau:    0.5,
+//	})
+//
+// The pre-Session surface (Analyze, NewAnalyzer and the flat With*
+// options) remains supported as deprecated shims over the Session API; see
+// README.md for the migration table.
 package metainsight
 
 import (
@@ -41,7 +48,6 @@ import (
 	"math"
 	"time"
 
-	"metainsight/internal/cache"
 	"metainsight/internal/checkpoint"
 	"metainsight/internal/core"
 	"metainsight/internal/dataset"
@@ -313,6 +319,18 @@ type analyzerOptions struct {
 	pcBytes        int64
 	checkpoint     *miner.CheckpointSpec
 	scanPar        int
+
+	// Fields below are written by the Session-surface options (session.go)
+	// and by the reworked checkpoint options; resolveOptions validates and
+	// lowers them.
+	topKSet     bool
+	shards      int
+	shardBlock  int
+	shardConc   int
+	shardFaults ShardFaultPlan
+	ckDir       string
+	ckEvery     int64
+	resumeDir   string
 }
 
 // WithMeasures sets the measure set M (default: SUM over every measure
@@ -388,7 +406,7 @@ func WithMaxSubspaceFilters(n int) Option {
 // weights, which may promote lower-scoring insights. Zero (the default)
 // disables termination and mines the complete candidate set.
 func WithTopKPruning(k int) Option {
-	return func(o *analyzerOptions) { o.minerCfg.TopK = k }
+	return func(o *analyzerOptions) { o.minerCfg.TopK = k; o.topKSet = true }
 }
 
 // WithoutQueryCache disables the query cache (ablation runs).
@@ -498,9 +516,7 @@ func WithDegradedThreshold(f float64) Option {
 // budget kinds — cost budget or unbounded — to guarantee a resumed run is
 // bit-identical to an uninterrupted one; a time budget re-anchors at resume.
 func WithCheckpoint(dir string, every int64) Option {
-	return func(o *analyzerOptions) {
-		o.checkpoint = &miner.CheckpointSpec{Dir: dir, Every: every}
-	}
+	return func(o *analyzerOptions) { o.ckDir = dir; o.ckEvery = every }
 }
 
 // ResumeFromCheckpoint resumes a crashed or cancelled run from the
@@ -509,11 +525,12 @@ func WithCheckpoint(dir string, every int64) Option {
 // re-execution — which also re-primes the caches — and mining re-enters its
 // loop on the pending work. The resumed run's results, statistics and trace
 // continue exactly where the interrupted run stopped, at any worker count.
-// Checkpointing continues into the same directory.
+// Checkpointing continues into the same directory. Combining it with
+// WithCheckpoint is allowed only when both name the same directory
+// (ErrConflictingCheckpoints otherwise), in which case the WithCheckpoint
+// snapshot cadence applies to the resumed run.
 func ResumeFromCheckpoint(dir string) Option {
-	return func(o *analyzerOptions) {
-		o.checkpoint = &miner.CheckpointSpec{Dir: dir, Resume: true}
-	}
+	return func(o *analyzerOptions) { o.resumeDir = dir }
 }
 
 // ErrConflictingBudgets is returned by NewAnalyzer when both WithTimeBudget
@@ -524,88 +541,18 @@ var ErrConflictingBudgets = errors.New(
 	"metainsight: WithTimeBudget and WithCostBudget are mutually exclusive; pick one")
 
 // NewAnalyzer creates an analyzer over a dataset.
+//
+// Deprecated: NewAnalyzer is the pre-Session construction surface, kept as
+// a thin shim over NewSession; use NewSession and Session.Analyze (see the
+// migration table in README.md). Both surfaces funnel through the same
+// construction path, so results, statistics and traces are bit-identical
+// across them.
 func NewAnalyzer(d *Dataset, opts ...Option) (*Analyzer, error) {
-	o := analyzerOptions{
-		minerCfg: miner.DefaultConfig(),
-		weights:  ranker.DefaultWeights(),
-	}
-	o.minerCfg.UsePriorityQueues = true
-	for _, opt := range opts {
-		opt(&o)
-	}
-	if o.timeBudget > 0 && o.costBudget > 0 {
-		return nil, ErrConflictingBudgets
-	}
-	if err := o.faultPolicy.Validate(); err != nil {
-		return nil, err
-	}
-	var retry faults.RetryPolicy
-	if o.retrySet {
-		retry = o.retryPolicy
-		if retry == (faults.RetryPolicy{}) {
-			// All-zero from an explicit WithRetryPolicy still means "use the
-			// defaults", which NewInjector would otherwise read as absent.
-			retry = retry.WithDefaults()
-		}
-	}
-	qc := cache.NewQueryCache(!o.disableQC)
-	if o.qcBytes > 0 {
-		qc.SetMaxBytes(o.qcBytes)
-	}
-	meter := &engine.Meter{}
-	// The needed-aggregate set: measures that registered evaluators will
-	// query beyond the mined measure set. Custom patterns declare theirs via
-	// CustomEvaluator.Requires; each correlation pair queries its secondary
-	// measure for the primary's scopes. The engine derives from this which
-	// MIN/MAX accumulators its scan substrate must materialize.
-	reqCfg := pattern.Config{Custom: o.customPatterns}
-	for _, pair := range o.correlations {
-		reqCfg.Custom = append(reqCfg.Custom, pattern.CustomEvaluator{
-			Requires: []Measure{pair[0], pair[1]},
-		})
-	}
-	eng, err := engine.New(d, engine.Config{
-		Measures:        o.measures,
-		ImpactMeasure:   o.impact,
-		ExtraMeasures:   reqCfg.RequiredMeasures(),
-		ScanParallelism: o.scanPar,
-		QueryCache:      qc,
-		Meter:           meter,
-		Observer:        o.observer,
-		Substrate:       o.substrate,
-		Faults:          faults.NewInjector(o.faultPolicy, retry),
-	})
+	s, err := NewSession(d, opts...)
 	if err != nil {
 		return nil, err
 	}
-	cfg := o.minerCfg
-	if len(o.customPatterns) > 0 || len(o.correlations) > 0 {
-		if cfg.Pattern.Alpha == 0 {
-			cfg.Pattern = pattern.DefaultConfig()
-		}
-		cfg.Pattern.Custom = append(cfg.Pattern.Custom, o.customPatterns...)
-		for _, pair := range o.correlations {
-			cfg.Pattern.Custom = append(cfg.Pattern.Custom, correlationEvaluator(eng, pair[0], pair[1]))
-		}
-	}
-	// The pattern cache is created here (not lazily per Mine call) so it
-	// persists across Mine calls like the query cache, and so Snapshot can
-	// report its stats.
-	cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](!o.disablePC)
-	if o.pcBytes > 0 {
-		cfg.PatternCache.SetMaxBytes(o.pcBytes, func(key string, se *pattern.ScopeEvaluation) int64 {
-			return int64(len(key)) + se.ApproxBytes()
-		})
-	}
-	cfg.Observer = o.observer
-	cfg.Checkpoint = o.checkpoint
-	if o.costBudget > 0 {
-		cfg.Budget = engine.CostBudget{Meter: meter, Limit: o.costBudget}
-	}
-	return &Analyzer{
-		eng: eng, meter: meter, cfg: cfg, wts: o.weights,
-		obs: o.observer, timeBudget: o.timeBudget,
-	}, nil
+	return s.analyzer(Request{})
 }
 
 // Mine runs the mining procedure, returning every qualified MetaInsight
@@ -685,6 +632,11 @@ func (a *Analyzer) Engine() *engine.Engine { return a.eng }
 
 // Analyze is the one-call API: mine with default configuration and return
 // the top-k ranked insights. It is AnalyzeContext with a background context.
+//
+// Deprecated: use NewSession and Session.Analyze with Request{TopK: k}; a
+// session amortizes dataset indexing and substrate construction across
+// calls. This shim delegates to a single-use session and behaves
+// identically.
 func Analyze(d *Dataset, k int, opts ...Option) ([]*Insight, error) {
 	return AnalyzeContext(context.Background(), d, k, opts...)
 }
@@ -695,13 +647,18 @@ func Analyze(d *Dataset, k int, opts ...Option) ([]*Insight, error) {
 // returned error may wrap ErrDegraded — the insights are still valid
 // best-effort output, so check errors.Is(err, ErrDegraded) before discarding
 // them.
+//
+// Deprecated: use NewSession and Session.Analyze with Request{TopK: k}.
 func AnalyzeContext(ctx context.Context, d *Dataset, k int, opts ...Option) ([]*Insight, error) {
-	a, err := NewAnalyzer(d, opts...)
+	s, err := NewSession(d, opts...)
 	if err != nil {
 		return nil, err
 	}
-	result := a.MineContext(ctx)
-	return a.Rank(result, k), result.Err
+	an, err := s.Analyze(ctx, Request{TopK: k})
+	if an == nil {
+		return nil, err
+	}
+	return an.Insights, err
 }
 
 // correlationEvaluator builds the scope-aware evaluator behind

@@ -1,0 +1,587 @@
+package metainsight
+
+// The Session API is the package's primary analysis surface: a Session
+// loads and indexes a dataset once and then serves many Analyze calls, each
+// parameterized by a Request. Construction-time settings (execution layout,
+// resilience, durability, custom patterns, ranking weights) are grouped
+// into typed configs attached via SessionOption; per-call knobs (measures,
+// budgets, τ, top-k) travel in the Request.
+//
+// Every Analyze call is hermetic: it runs with fresh query/pattern caches
+// and a fresh meter, so its result — insights, statistics and trace — is
+// bit-identical to a fresh Analyzer run with the same settings, regardless
+// of what the session served before. What the session shares across calls
+// is the expensive read-only state: the dataset's dictionaries, posting
+// lists and zone maps (cached on the dataset itself), and the physical scan
+// substrates (plan caches, accumulator pools, shard partitions), reused
+// from a registry keyed by their full configuration.
+//
+// The pre-Session construction surface (NewAnalyzer, Analyze and the flat
+// With* options) remains supported as thin deprecated shims over this API;
+// see the migration table in README.md.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"metainsight/internal/cache"
+	"metainsight/internal/engine"
+	"metainsight/internal/faults"
+	"metainsight/internal/miner"
+	"metainsight/internal/model"
+	"metainsight/internal/pattern"
+	"metainsight/internal/ranker"
+	"metainsight/internal/shard"
+)
+
+// SessionOption configures a Session at construction. It is the same type
+// as the legacy Option, so every existing With* option can be passed to
+// NewSession unchanged; prefer the grouped WithExec / WithResilience /
+// WithDurability configs for new code.
+type SessionOption = Option
+
+// ShardFaultPlan configures the per-shard simulated-remote fault model of
+// sharded execution: a fault/latency policy applied independently per shard
+// (each shard derives its own seed), designated straggler shards, and
+// speculative re-issue for straggler mitigation. See ResilienceConfig.
+type ShardFaultPlan = shard.FaultPlan
+
+// ParseShardFaultSpec parses the CLI's -shard-faults specification: every
+// key of ParseFaultSpec applied per shard, plus slow-shard=N (repeatable),
+// slow-factor=F and speculate-after=C.
+func ParseShardFaultSpec(spec string) (ShardFaultPlan, error) {
+	return shard.ParseFaultPlan(spec)
+}
+
+// ExecConfig groups the execution-layout settings: inter-query parallelism
+// (Workers), intra-scan parallelism (ScanParallelism) and horizontal
+// partitioning (Shards). Zero-valued fields leave the corresponding setting
+// at its prior or default value, so partially-filled configs compose with
+// other options.
+type ExecConfig struct {
+	// Workers is the number of evaluation goroutines (default 8). Results
+	// are bit-identical for any value.
+	Workers int
+	// ScanParallelism is how many goroutines one physical scan may use
+	// (default 1). Bit-identical for any value; see WithScanParallelism.
+	ScanParallelism int
+	// Shards, when > 1, partitions the dataset into that many row-range
+	// shards (morsel-boundary aligned, so zone maps survive intact), scans
+	// them concurrently and merges per-shard partial aggregates in
+	// deterministic shard order. Results are bit-identical for any shard
+	// count: shards emit per-block partials that the merge folds in global
+	// block order, so the floating-point addition tree never depends on the
+	// partitioning. 0 or 1 means unsharded.
+	Shards int
+	// ShardBlockRows is the block (morsel) size in rows of sharded
+	// execution; shard boundaries align to it. 0 uses the engine default
+	// (8192). Like WithScanParallelism's morsel size, a different block size
+	// is a different deterministic universe: results are reproducible per
+	// value, not across values.
+	ShardBlockRows int
+	// ShardConcurrency caps how many shards scan concurrently (0 = all).
+	ShardConcurrency int
+}
+
+// ResilienceConfig groups the fault-handling settings: deterministic fault
+// injection, retry/backoff/breaker behavior, the degraded-result threshold,
+// and the per-shard fault plan of sharded execution. Zero-valued fields
+// leave the corresponding setting unchanged.
+type ResilienceConfig struct {
+	// Faults enables deterministic fault injection on every scan path; a
+	// zero policy injects nothing. See WithFaultPolicy.
+	Faults FaultPolicy
+	// Retry configures retries, backoff, per-query deadlines and the
+	// circuit breaker; a zero value leaves the retry policy unset (or, if
+	// Faults is enabled, the defaults apply). See WithRetryPolicy.
+	Retry RetryPolicy
+	// DegradedThreshold is the query failure rate above which a run is
+	// flagged degraded (Result.Err wraps ErrDegraded). 0 keeps the default
+	// (0.1); negative flags any failure; >= 1 never flags.
+	DegradedThreshold float64
+	// ShardFaults is the per-shard fault plan of sharded execution:
+	// per-shard transient/permanent/latency schedules, straggler shards,
+	// and speculative re-issue (SpeculateAfter). Requires ExecConfig.Shards
+	// > 0. Shard fates are pure functions of each query's fingerprint, so
+	// faulty sharded runs stay bit-reproducible; the speculative winner is
+	// picked by deterministic completion cost with ties to the primary,
+	// never by wall clock.
+	ShardFaults ShardFaultPlan
+}
+
+// DurabilityConfig groups crash-safety: checkpoint journaling and resume.
+type DurabilityConfig struct {
+	// CheckpointDir is the checkpoint directory. Empty disables
+	// checkpointing.
+	CheckpointDir string
+	// Every is the snapshot cadence in unit commits (<= 0 defaults to 256).
+	Every int64
+	// Resume restores the run from CheckpointDir instead of starting fresh.
+	Resume bool
+}
+
+// WithExec applies an execution-layout config. Zero-valued fields leave
+// prior settings untouched.
+func WithExec(c ExecConfig) Option {
+	return func(o *analyzerOptions) {
+		if c.Workers != 0 {
+			o.minerCfg.Workers = c.Workers
+		}
+		if c.ScanParallelism != 0 {
+			o.scanPar = c.ScanParallelism
+		}
+		if c.Shards != 0 {
+			o.shards = c.Shards
+		}
+		if c.ShardBlockRows != 0 {
+			o.shardBlock = c.ShardBlockRows
+		}
+		if c.ShardConcurrency != 0 {
+			o.shardConc = c.ShardConcurrency
+		}
+	}
+}
+
+// WithResilience applies a resilience config. Zero-valued fields leave
+// prior settings untouched.
+func WithResilience(c ResilienceConfig) Option {
+	return func(o *analyzerOptions) {
+		if c.Faults.Enabled() {
+			o.faultPolicy = c.Faults
+		}
+		if c.Retry != (RetryPolicy{}) {
+			o.retryPolicy = c.Retry
+			o.retrySet = true
+		}
+		if c.DegradedThreshold != 0 {
+			o.minerCfg.DegradedThreshold = c.DegradedThreshold
+		}
+		if c.ShardFaults.Enabled() {
+			o.shardFaults = c.ShardFaults
+		}
+	}
+}
+
+// WithDurability applies a durability config; equivalent to WithCheckpoint
+// or ResumeFromCheckpoint depending on Resume.
+func WithDurability(c DurabilityConfig) Option {
+	return func(o *analyzerOptions) {
+		if c.CheckpointDir == "" {
+			return
+		}
+		if c.Resume {
+			o.resumeDir = c.CheckpointDir
+		} else {
+			o.ckDir = c.CheckpointDir
+		}
+		if c.Every != 0 {
+			o.ckEvery = c.Every
+		}
+	}
+}
+
+// Budget bounds one Analyze call. At most one field may be set: cost
+// budgets are deterministic and exactly reproducible, time budgets are not,
+// so the library refuses to combine them (ErrConflictingBudgets).
+type Budget struct {
+	// Time bounds mining by wall clock; mining is progressive and returns
+	// the best-so-far insights at the deadline.
+	Time time.Duration
+	// Cost bounds mining by deterministic engine cost units.
+	Cost float64
+}
+
+// Request parameterizes one Session.Analyze call. Zero-valued fields take
+// the session's settings (or the library defaults).
+type Request struct {
+	// Measures is the mined measure set M (default: SUM over every measure
+	// column plus COUNT(*)).
+	Measures []Measure
+	// ImpactMeasure sets the impact measure (must be SUM or COUNT; default
+	// COUNT(*)).
+	ImpactMeasure Measure
+	// TopK is how many ranked insights to return (the paper's suggestion
+	// count). Values <= 0 return no ranked insights; the Analysis still
+	// carries every mined candidate in Result.
+	TopK int
+	// MaxFilters caps the number of subspace filters (default 3).
+	MaxFilters int
+	// Budget bounds the call by wall clock or by deterministic cost units.
+	Budget Budget
+	// Tau overrides the commonness threshold τ (default 0.5).
+	Tau float64
+	// TopKPruning enables S*-bounded early termination with the given k;
+	// see WithTopKPruning. Must be > 0 when set.
+	TopKPruning int
+	// Progress, when set, is invoked for each newly stored MetaInsight in
+	// deterministic discovery order.
+	Progress func(*MetaInsight)
+	// Observer, when set, receives this call's metrics and trace,
+	// overriding the session observer for the call.
+	Observer *Observer
+}
+
+// options lowers the request to the legacy option list, applied after the
+// session's options so per-call settings win.
+func (r Request) options() []Option {
+	var opts []Option
+	if r.Measures != nil {
+		opts = append(opts, WithMeasures(r.Measures...))
+	}
+	if r.ImpactMeasure != (Measure{}) {
+		opts = append(opts, WithImpactMeasure(r.ImpactMeasure))
+	}
+	if r.MaxFilters > 0 {
+		opts = append(opts, WithMaxSubspaceFilters(r.MaxFilters))
+	}
+	if r.Budget.Time > 0 {
+		opts = append(opts, WithTimeBudget(r.Budget.Time))
+	}
+	if r.Budget.Cost > 0 {
+		opts = append(opts, WithCostBudget(r.Budget.Cost))
+	}
+	if r.Tau != 0 {
+		opts = append(opts, WithTau(r.Tau))
+	}
+	if r.TopKPruning != 0 {
+		opts = append(opts, WithTopKPruning(r.TopKPruning))
+	}
+	if r.Progress != nil {
+		opts = append(opts, WithProgress(r.Progress))
+	}
+	if r.Observer != nil {
+		opts = append(opts, WithObserver(r.Observer))
+	}
+	return opts
+}
+
+// Construction-time validation errors. Conflicting or malformed options are
+// rejected by NewSession / NewAnalyzer with one of these (test with
+// errors.Is) instead of surfacing as surprising behavior mid-run.
+var (
+	// ErrConflictingCheckpoints: ResumeFromCheckpoint and WithCheckpoint
+	// (or DurabilityConfig equivalents) name different directories. Naming
+	// the same directory is fine — it resumes and keeps checkpointing there.
+	ErrConflictingCheckpoints = errors.New(
+		"metainsight: ResumeFromCheckpoint and WithCheckpoint name different directories; use one directory")
+	// ErrInvalidTopKPruning: WithTopKPruning (or Request.TopKPruning)
+	// requires k > 0; omit the option to disable early termination.
+	ErrInvalidTopKPruning = errors.New(
+		"metainsight: WithTopKPruning requires k > 0; omit the option to disable early termination")
+	// ErrNegativeOption: a count or size option (workers, scan parallelism,
+	// shards, cache bytes) was negative.
+	ErrNegativeOption = errors.New("metainsight: option value must be non-negative")
+	// ErrShardSubstrateConflict: sharded execution builds its own substrate
+	// and cannot be combined with WithSubstrate.
+	ErrShardSubstrateConflict = errors.New(
+		"metainsight: ExecConfig.Shards and WithSubstrate are mutually exclusive")
+	// ErrShardFaultsWithoutShards: a shard fault plan was configured
+	// without sharded execution.
+	ErrShardFaultsWithoutShards = errors.New(
+		"metainsight: ResilienceConfig.ShardFaults requires ExecConfig.Shards > 0")
+)
+
+// resolveOptions applies the option list over the defaults and validates
+// the combination; every construction path (NewSession, Session.Analyze,
+// NewAnalyzer) funnels through it, so conflicts surface identically
+// everywhere.
+func resolveOptions(opts []Option) (*analyzerOptions, error) {
+	o := &analyzerOptions{
+		minerCfg: miner.DefaultConfig(),
+		weights:  ranker.DefaultWeights(),
+	}
+	o.minerCfg.UsePriorityQueues = true
+	for _, opt := range opts {
+		opt(o)
+	}
+	if o.timeBudget > 0 && o.costBudget > 0 {
+		return nil, ErrConflictingBudgets
+	}
+	if err := o.faultPolicy.Validate(); err != nil {
+		return nil, err
+	}
+	if o.topKSet && o.minerCfg.TopK <= 0 {
+		return nil, ErrInvalidTopKPruning
+	}
+	if o.minerCfg.Workers < 0 {
+		return nil, fmt.Errorf("%w: workers %d", ErrNegativeOption, o.minerCfg.Workers)
+	}
+	if o.scanPar < 0 {
+		return nil, fmt.Errorf("%w: scan parallelism %d", ErrNegativeOption, o.scanPar)
+	}
+	if o.shards < 0 || o.shardBlock < 0 || o.shardConc < 0 {
+		return nil, fmt.Errorf("%w: shards %d, shard block %d, shard concurrency %d",
+			ErrNegativeOption, o.shards, o.shardBlock, o.shardConc)
+	}
+	if o.qcBytes < 0 || o.pcBytes < 0 {
+		return nil, fmt.Errorf("%w: cache bytes %d/%d", ErrNegativeOption, o.qcBytes, o.pcBytes)
+	}
+	if o.shards > 0 && o.substrate != nil {
+		return nil, ErrShardSubstrateConflict
+	}
+	if o.shardFaults.Enabled() {
+		if o.shards <= 0 {
+			return nil, ErrShardFaultsWithoutShards
+		}
+		if err := o.shardFaults.Validate(o.shards); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case o.resumeDir != "" && o.ckDir != "" && o.resumeDir != o.ckDir:
+		return nil, ErrConflictingCheckpoints
+	case o.resumeDir != "":
+		o.checkpoint = &miner.CheckpointSpec{Dir: o.resumeDir, Every: o.ckEvery, Resume: true}
+	case o.ckDir != "":
+		o.checkpoint = &miner.CheckpointSpec{Dir: o.ckDir, Every: o.ckEvery}
+	}
+	return o, nil
+}
+
+// Session is a long-lived analysis handle over one dataset: NewSession
+// loads and validates once, Analyze serves many requests. Sessions are safe
+// for concurrent Analyze calls; each call is hermetic (fresh caches and
+// meter), sharing only the dataset's read-only index structures and the
+// substrate registry.
+type Session struct {
+	d    *Dataset
+	opts []Option
+
+	mu   sync.Mutex
+	subs map[string]Substrate
+}
+
+// NewSession creates a session over a dataset. Construction validates the
+// option combination eagerly (see the Err* construction errors), so a
+// misconfigured session fails here rather than on first Analyze.
+func NewSession(d *Dataset, opts ...SessionOption) (*Session, error) {
+	if d == nil {
+		return nil, errors.New("metainsight: nil dataset")
+	}
+	if _, err := resolveOptions(opts); err != nil {
+		return nil, err
+	}
+	return &Session{
+		d:    d,
+		opts: append([]Option(nil), opts...),
+		subs: make(map[string]Substrate),
+	}, nil
+}
+
+// Dataset returns the dataset the session analyzes.
+func (s *Session) Dataset() *Dataset { return s.d }
+
+// Analysis is the outcome of one Session.Analyze call: the ranked top-k
+// insights plus the full mining result (every candidate and the run
+// statistics).
+type Analysis struct {
+	// Insights is the ranked, redundancy-aware top-k selection.
+	Insights []*Insight
+	// Result holds every mined MetaInsight candidate plus run statistics.
+	Result *MiningResult
+
+	a *Analyzer
+}
+
+// Snapshot returns a point-in-time copy of the call's observer metrics; see
+// Analyzer.Snapshot.
+func (an *Analysis) Snapshot() MetricsSnapshot { return an.a.Snapshot() }
+
+// WriteReport renders the analysis' ranked insights as a markdown EDA
+// report.
+func (an *Analysis) WriteReport(w io.Writer, title string) error {
+	return an.a.WriteReport(w, an.Insights, title)
+}
+
+// Engine exposes the call's query engine for ad-hoc follow-up queries — the
+// "exception as a new entry point" loop of exploratory analysis.
+func (an *Analysis) Engine() *engine.Engine { return an.a.Engine() }
+
+// Analyze mines and ranks one request. The error mirrors the legacy
+// Analyze contract: it may wrap ErrDegraded (best-effort result under
+// faults) or a checkpoint sentinel, and the returned Analysis is still
+// valid best-effort output whenever it is non-nil.
+func (s *Session) Analyze(ctx context.Context, req Request) (*Analysis, error) {
+	a, err := s.analyzer(req)
+	if err != nil {
+		return nil, err
+	}
+	res := a.MineContext(ctx)
+	return &Analysis{Insights: a.Rank(res, req.TopK), Result: res, a: a}, res.Err
+}
+
+// analyzer builds the per-request execution state: session options plus the
+// request's overrides, resolved and validated, over substrates reused from
+// the session registry.
+func (s *Session) analyzer(req Request) (*Analyzer, error) {
+	all := append(append([]Option(nil), s.opts...), req.options()...)
+	o, err := resolveOptions(all)
+	if err != nil {
+		return nil, err
+	}
+	return buildAnalyzer(s.d, o, s)
+}
+
+// needMinMax replicates engine.New's needed-aggregate derivation: MIN/MAX
+// accumulators are materialized only for columns some measure in Measures ∪
+// ExtraMeasures ∪ {ImpactMeasure} aggregates that way. The session builds
+// substrates itself (to share them across requests), which bypasses the
+// engine's derivation, so it must agree with it exactly.
+func needMinMax(d *Dataset, o *analyzerOptions, extra []Measure) map[string]bool {
+	measures := o.measures
+	if measures == nil {
+		measures = d.DefaultMeasures()
+	}
+	impact := o.impact
+	if impact == (Measure{}) {
+		impact = model.Count("*")
+	}
+	need := make(map[string]bool)
+	for _, ms := range [][]Measure{measures, extra, {impact}} {
+		for _, m := range ms {
+			if m.Agg == model.AggMin || m.Agg == model.AggMax {
+				need[m.Column] = true
+			}
+		}
+	}
+	return need
+}
+
+// substrateFor returns the physical scan substrate for one resolved
+// configuration, reusing a previously built one from the session registry
+// when every substrate-affecting setting matches. Substrates are safe to
+// share: scans are read-only over the dataset, plan caches and accumulator
+// pools are internally synchronized, and reuse never changes results — it
+// only skips re-partitioning and re-planning. A nil receiver (the
+// NewAnalyzer shim path on a fresh throwaway session, or direct builds)
+// builds without caching.
+func (s *Session) substrateFor(d *Dataset, o *analyzerOptions, need map[string]bool) (Substrate, error) {
+	build := func() (Substrate, error) {
+		if o.shards > 0 {
+			return shard.New(d, shard.Config{
+				Shards:          o.shards,
+				Block:           o.shardBlock,
+				ScanParallelism: o.scanPar,
+				MinMax:          need,
+				Concurrency:     o.shardConc,
+				Observer:        o.observer,
+				Faults:          o.shardFaults,
+			})
+		}
+		return engine.NewColumnarSubstrate(d,
+			engine.WithMinMaxColumns(need),
+			engine.WithScanParallelism(o.scanPar),
+			engine.WithScanObserver(o.observer)), nil
+	}
+	if s == nil {
+		return build()
+	}
+	cols := make([]string, 0, len(need))
+	for c := range need {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	// The key covers every input that shapes the substrate, including the
+	// observer identity (substrates bake their observer in) and the full
+	// shard fault plan.
+	key := fmt.Sprintf("shards=%d block=%d conc=%d par=%d mm=%v faults=%+v obs=%p",
+		o.shards, o.shardBlock, o.shardConc, o.scanPar, cols, o.shardFaults, o.observer)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub, ok := s.subs[key]; ok {
+		return sub, nil
+	}
+	sub, err := build()
+	if err != nil {
+		return nil, err
+	}
+	s.subs[key] = sub
+	return sub, nil
+}
+
+// buildAnalyzer assembles the execution state (engine, miner config,
+// ranking weights) from a resolved option set. It is the single
+// construction path behind both Session.Analyze and the deprecated
+// NewAnalyzer shim, which is what makes the two surfaces bit-identical.
+func buildAnalyzer(d *Dataset, o *analyzerOptions, sess *Session) (*Analyzer, error) {
+	var retry faults.RetryPolicy
+	if o.retrySet {
+		retry = o.retryPolicy
+		if retry == (faults.RetryPolicy{}) {
+			// All-zero from an explicit WithRetryPolicy still means "use the
+			// defaults", which NewInjector would otherwise read as absent.
+			retry = retry.WithDefaults()
+		}
+	}
+	qc := cache.NewQueryCache(!o.disableQC)
+	if o.qcBytes > 0 {
+		qc.SetMaxBytes(o.qcBytes)
+	}
+	meter := &engine.Meter{}
+	// The needed-aggregate set: measures that registered evaluators will
+	// query beyond the mined measure set. Custom patterns declare theirs via
+	// CustomEvaluator.Requires; each correlation pair queries its secondary
+	// measure for the primary's scopes. The engine derives from this which
+	// MIN/MAX accumulators its scan substrate must materialize.
+	reqCfg := pattern.Config{Custom: o.customPatterns}
+	for _, pair := range o.correlations {
+		reqCfg.Custom = append(reqCfg.Custom, pattern.CustomEvaluator{
+			Requires: []Measure{pair[0], pair[1]},
+		})
+	}
+	sub := o.substrate
+	if sub == nil {
+		var err error
+		sub, err = sess.substrateFor(d, o, needMinMax(d, o, reqCfg.RequiredMeasures()))
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.New(d, engine.Config{
+		Measures:        o.measures,
+		ImpactMeasure:   o.impact,
+		ExtraMeasures:   reqCfg.RequiredMeasures(),
+		ScanParallelism: o.scanPar,
+		QueryCache:      qc,
+		Meter:           meter,
+		Observer:        o.observer,
+		Substrate:       sub,
+		Faults:          faults.NewInjector(o.faultPolicy, retry),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.minerCfg
+	if len(o.customPatterns) > 0 || len(o.correlations) > 0 {
+		if cfg.Pattern.Alpha == 0 {
+			cfg.Pattern = pattern.DefaultConfig()
+		}
+		cfg.Pattern.Custom = append(cfg.Pattern.Custom, o.customPatterns...)
+		for _, pair := range o.correlations {
+			cfg.Pattern.Custom = append(cfg.Pattern.Custom, correlationEvaluator(eng, pair[0], pair[1]))
+		}
+	}
+	// The pattern cache is created here (not lazily per Mine call) so it
+	// persists across Mine calls like the query cache, and so Snapshot can
+	// report its stats.
+	cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](!o.disablePC)
+	if o.pcBytes > 0 {
+		cfg.PatternCache.SetMaxBytes(o.pcBytes, func(key string, se *pattern.ScopeEvaluation) int64 {
+			return int64(len(key)) + se.ApproxBytes()
+		})
+	}
+	cfg.Observer = o.observer
+	cfg.Checkpoint = o.checkpoint
+	if o.costBudget > 0 {
+		cfg.Budget = engine.CostBudget{Meter: meter, Limit: o.costBudget}
+	}
+	return &Analyzer{
+		eng: eng, meter: meter, cfg: cfg, wts: o.weights,
+		obs: o.observer, timeBudget: o.timeBudget,
+	}, nil
+}
