@@ -17,6 +17,12 @@
 //	2  the run completed degraded: the printed insights are valid
 //	   best-effort output, but the query failure rate exceeded the
 //	   degradation threshold
+//	3  the run was interrupted (SIGINT/SIGTERM): mining stopped cleanly at
+//	   the next unit commit, the trace and metrics epilogue still ran, and
+//	   with -checkpoint a final snapshot was flushed — re-run with -resume
+//	   to finish the run exactly where it left off. The printed insights
+//	   are the partial best-effort output. A second signal kills the
+//	   process immediately.
 package main
 
 import (
@@ -26,8 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"metainsight"
@@ -69,7 +77,8 @@ func run() int {
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: metainsight -csv data.csv [flags]")
-		fmt.Fprintln(fs.Output(), "exit codes: 0 completed, 1 failed, 2 completed degraded (best-effort output)")
+		fmt.Fprintln(fs.Output(), "exit codes: 0 completed, 1 failed, 2 completed degraded (best-effort output),")
+		fmt.Fprintln(fs.Output(), "            3 interrupted by SIGINT/SIGTERM (partial output; -checkpoint runs resume with -resume)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -208,8 +217,16 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "metainsight:", err)
 		return 1
 	}
+	// SIGINT/SIGTERM cancel the mining context: the engine stops at the next
+	// unit commit (flushing a final checkpoint snapshot under -checkpoint),
+	// the epilogue below still flushes the trace and metrics, and the exit
+	// code is 3. stop() restores default signal disposition, so a second
+	// signal kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	an, err := sess.Analyze(context.Background(), req)
+	an, err := sess.Analyze(ctx, req)
 	degraded := false
 	if err != nil {
 		if an == nil || !errors.Is(err, metainsight.ErrDegraded) {
@@ -248,6 +265,15 @@ func run() int {
 			fmt.Fprintf(w, "\n%s\n", an.Snapshot().Text())
 		}
 		fmt.Fprintf(w, "\nstats: %s\n", result.Stats)
+		if result.Stats.Cancelled {
+			fmt.Fprintln(os.Stderr,
+				"metainsight: interrupted: mining stopped at the last unit commit; output is partial (exit 3)")
+			if *ckDir != "" {
+				fmt.Fprintf(os.Stderr,
+					"metainsight: a final checkpoint snapshot was flushed; re-run with -checkpoint %s -resume to finish\n", *ckDir)
+			}
+			return 3
+		}
 		if degraded {
 			fmt.Fprintln(os.Stderr,
 				"metainsight: degraded run: query failure rate exceeded the threshold; output is best-effort (exit 2)")

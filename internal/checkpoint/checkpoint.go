@@ -263,6 +263,19 @@ type LoadResult struct {
 	Store    *Store
 }
 
+// Exists reports whether dir holds any checkpoint data (a snapshot or a
+// journal file, valid or torn). It never validates — Load does — so a
+// scheduler can use it to pick resume-vs-fresh for a job whose process may
+// have died before the first durable byte landed.
+func Exists(dir string) bool {
+	for _, name := range []string{snapshotFile, journalFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // Create initialises a fresh checkpoint in dir. It refuses (ErrExists) to
 // overwrite an existing checkpoint so a stale -checkpoint flag cannot
 // silently destroy a resumable run.

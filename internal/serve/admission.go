@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"metainsight/internal/obs"
+)
+
+// AdmissionConfig configures the admission controller: a bounded concurrency
+// semaphore in front of the analysis engine plus a bounded wait queue with
+// deadline-aware shedding and round-robin fairness across tenants.
+type AdmissionConfig struct {
+	// MaxConcurrent is how many analyses may execute at once (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds the total number of waiting requests across all
+	// tenants (default 64). A request arriving at a full queue is shed
+	// immediately with CodeQueueFull.
+	MaxQueue int
+	// ExpectedServiceTime seeds the controller's service-time estimate
+	// before any request has completed. The estimate is maintained as an
+	// EWMA of observed slot-hold durations and drives deadline-aware
+	// shedding: a request whose estimated start time lies beyond its
+	// deadline is rejected immediately (CodeDeadlineUnattainable) instead
+	// of queuing to die. 0 starts optimistic (no request is pre-shed until
+	// real service times are observed).
+	ExpectedServiceTime time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	return c
+}
+
+// waiter is one queued admission request. granted/failed and err are
+// written under the controller's lock before ready is closed, so the woken
+// goroutine reads a consistent outcome.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+	err     *APIError
+}
+
+// tenantFIFO is one tenant's arrival-ordered wait queue.
+type tenantFIFO struct {
+	ws []*waiter
+}
+
+// admission is the controller. Fairness is round-robin across tenants: each
+// tenant has its own FIFO, and freed slots rotate through the tenants that
+// have waiters, so one tenant flooding the queue cannot starve another —
+// a newcomer tenant waits behind at most one request per competing tenant,
+// not behind the flood.
+type admission struct {
+	cfg AdmissionConfig
+	obs *obs.Observer
+	now func() time.Time
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	tenants  map[string]*tenantFIFO
+	ring     []string // tenants with waiters, arrival order
+	cursor   int      // next ring position to serve
+	ewma     float64  // seconds; 0 = no observation yet
+	closed   bool
+}
+
+// permit is a held execution slot; Release returns it and dispatches the
+// next waiter.
+type permit struct {
+	a     *admission
+	start time.Time
+}
+
+func newAdmission(cfg AdmissionConfig, ob *obs.Observer) *admission {
+	cfg = cfg.withDefaults()
+	return &admission{
+		cfg:     cfg,
+		obs:     ob,
+		now:     time.Now,
+		tenants: make(map[string]*tenantFIFO),
+		ewma:    cfg.ExpectedServiceTime.Seconds(),
+	}
+}
+
+// estimateLocked is the deadline-shedding wait estimate for a request that
+// would queue at the current tail: the number of service "waves" ahead of it
+// times the EWMA service time. It is deliberately simple — the point is to
+// reject hopeless requests immediately, not to be a scheduler oracle.
+func (a *admission) estimateLocked() time.Duration {
+	if a.ewma <= 0 {
+		return 0
+	}
+	waves := a.queued/a.cfg.MaxConcurrent + 1
+	return time.Duration(float64(waves) * a.ewma * float64(time.Second))
+}
+
+// Acquire obtains an execution slot, queuing with round-robin tenant
+// fairness when the engine is saturated. It sheds instead of queuing when
+// the queue is full or the context's deadline provably cannot be met, and
+// abandons the wait (freeing the queue slot) when the context fires first.
+func (a *admission) Acquire(ctx context.Context, tenant string) (*permit, *APIError) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, apiErrorf(http.StatusServiceUnavailable, CodeShuttingDown,
+			"server is shutting down")
+	}
+	// Immediate grant only when nobody is queued: barging past waiters
+	// would defeat both FIFO ordering and tenant fairness.
+	if a.inflight < a.cfg.MaxConcurrent && a.queued == 0 {
+		a.inflight++
+		a.obs.Count("serve.admitted", 1)
+		a.gaugesLocked()
+		a.mu.Unlock()
+		return &permit{a: a, start: a.now()}, nil
+	}
+	if a.queued >= a.cfg.MaxQueue {
+		a.obs.Count("serve.shed.queue_full", 1)
+		a.mu.Unlock()
+		e := apiErrorf(http.StatusServiceUnavailable, CodeQueueFull,
+			"admission queue is full (%d waiting)", a.cfg.MaxQueue)
+		e.RetryAfter = retryAfterMS(a.estimate())
+		return nil, e
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if est := a.estimateLocked(); est > 0 && a.now().Add(est).After(dl) {
+			a.obs.Count("serve.shed.deadline_unattainable", 1)
+			a.mu.Unlock()
+			e := apiErrorf(http.StatusServiceUnavailable, CodeDeadlineUnattainable,
+				"estimated queue wait %v exceeds the request deadline; rejected without queuing", est.Round(time.Millisecond))
+			e.RetryAfter = retryAfterMS(est)
+			return nil, e
+		}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	f, ok := a.tenants[tenant]
+	if !ok {
+		f = &tenantFIFO{}
+		a.tenants[tenant] = f
+		a.ring = append(a.ring, tenant)
+	}
+	f.ws = append(f.ws, w)
+	a.queued++
+	a.gaugesLocked()
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		a.mu.Lock()
+		granted, werr := w.granted, w.err
+		a.mu.Unlock()
+		if !granted {
+			return nil, werr
+		}
+		return &permit{a: a, start: a.now()}, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced our deadline: return the slot and hand it on.
+			a.inflight--
+			a.dispatchLocked()
+			a.mu.Unlock()
+		} else {
+			a.removeLocked(tenant, w)
+			a.obs.Count("serve.shed.deadline_expired", 1)
+			a.gaugesLocked()
+			a.mu.Unlock()
+		}
+		return nil, apiErrorf(http.StatusServiceUnavailable, CodeDeadlineExpired,
+			"deadline expired while waiting for an execution slot")
+	}
+}
+
+// Release returns the slot, folds the observed service time into the EWMA
+// estimate, and dispatches the next waiter round-robin.
+func (p *permit) Release() {
+	a := p.a
+	held := a.now().Sub(p.start).Seconds()
+	a.mu.Lock()
+	const alpha = 0.2
+	if a.ewma <= 0 {
+		a.ewma = held
+	} else {
+		a.ewma = (1-alpha)*a.ewma + alpha*held
+	}
+	a.inflight--
+	a.dispatchLocked()
+	a.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to waiters, rotating across tenants.
+func (a *admission) dispatchLocked() {
+	for a.inflight < a.cfg.MaxConcurrent && a.queued > 0 {
+		if a.cursor >= len(a.ring) {
+			a.cursor = 0
+		}
+		tn := a.ring[a.cursor]
+		f := a.tenants[tn]
+		w := f.ws[0]
+		f.ws = f.ws[1:]
+		a.queued--
+		if len(f.ws) == 0 {
+			delete(a.tenants, tn)
+			a.ring = append(a.ring[:a.cursor], a.ring[a.cursor+1:]...)
+			if a.cursor >= len(a.ring) {
+				a.cursor = 0
+			}
+		} else {
+			a.cursor++
+		}
+		w.granted = true
+		a.inflight++
+		a.obs.Count("serve.admitted", 1)
+		close(w.ready)
+	}
+	a.gaugesLocked()
+}
+
+// removeLocked takes an abandoned waiter out of its tenant queue.
+func (a *admission) removeLocked(tenant string, w *waiter) {
+	f, ok := a.tenants[tenant]
+	if !ok {
+		return
+	}
+	for i, x := range f.ws {
+		if x == w {
+			f.ws = append(f.ws[:i], f.ws[i+1:]...)
+			a.queued--
+			break
+		}
+	}
+	if len(f.ws) == 0 {
+		delete(a.tenants, tenant)
+		for i, tn := range a.ring {
+			if tn == tenant {
+				a.ring = append(a.ring[:i], a.ring[i+1:]...)
+				if i < a.cursor {
+					a.cursor--
+				}
+				if a.cursor >= len(a.ring) {
+					a.cursor = 0
+				}
+				break
+			}
+		}
+	}
+}
+
+// Close drains the controller: every queued waiter is woken with a
+// shutting-down error, and future Acquire calls fail immediately. In-flight
+// permits remain valid; their Release still runs.
+func (a *admission) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, tn := range a.ring {
+		f := a.tenants[tn]
+		for _, w := range f.ws {
+			w.err = apiErrorf(http.StatusServiceUnavailable, CodeShuttingDown,
+				"server is shutting down")
+			close(w.ready)
+		}
+		delete(a.tenants, tn)
+	}
+	a.ring, a.cursor, a.queued = nil, 0, 0
+	a.gaugesLocked()
+}
+
+func (a *admission) gaugesLocked() {
+	a.obs.SetGauge("serve.inflight", float64(a.inflight))
+	a.obs.SetGauge("serve.queue.depth", float64(a.queued))
+	a.obs.SetGauge("serve.service_time_ewma_s", a.ewma)
+}
+
+// estimate is estimateLocked with locking, for error payloads composed
+// outside the lock.
+func (a *admission) estimate() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.estimateLocked()
+}
+
+// snapshot returns (inflight, queued) for status endpoints.
+func (a *admission) snapshot() (inflight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, a.queued
+}

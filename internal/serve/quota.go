@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"metainsight/internal/obs"
+)
+
+// QuotaConfig configures the per-tenant token buckets. Every admission
+// attempt spends one token; tokens refill continuously at Rate per second up
+// to Burst. A zero Rate disables quota enforcement entirely.
+type QuotaConfig struct {
+	// Rate is the sustained request rate per tenant, in requests/second.
+	// 0 disables quotas.
+	Rate float64
+	// Burst is the bucket capacity — how many requests a tenant may issue
+	// back-to-back after an idle period. 0 defaults to max(1, Rate).
+	Burst float64
+	// Overrides replaces Rate/Burst for specific tenants. A tenant override
+	// with Rate 0 makes that tenant unlimited.
+	Overrides map[string]TenantQuota
+}
+
+// TenantQuota is one tenant's override of the default quota.
+type TenantQuota struct {
+	Rate  float64
+	Burst float64
+}
+
+// quotas is the token-bucket quota layer. Buckets are created lazily per
+// tenant and refill lazily on access, so an idle tenant costs nothing. The
+// clock is injectable for tests.
+type quotas struct {
+	cfg QuotaConfig
+	obs *obs.Observer
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(cfg QuotaConfig, ob *obs.Observer) *quotas {
+	if cfg.Burst == 0 {
+		cfg.Burst = cfg.Rate
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &quotas{cfg: cfg, obs: ob, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// limitsFor resolves the (rate, burst) pair for one tenant.
+func (q *quotas) limitsFor(tenant string) (rate, burst float64) {
+	if o, ok := q.cfg.Overrides[tenant]; ok {
+		rate, burst = o.Rate, o.Burst
+		if burst == 0 {
+			burst = rate
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		return rate, burst
+	}
+	return q.cfg.Rate, q.cfg.Burst
+}
+
+// Allow spends one token from the tenant's bucket. On an empty bucket it
+// returns a typed 429 APIError carrying the refill wait; the caller rejects
+// without queuing — quota denials never occupy admission capacity.
+func (q *quotas) Allow(tenant string) *APIError {
+	rate, burst := q.limitsFor(tenant)
+	if rate <= 0 {
+		return nil // unlimited
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+		q.buckets[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		q.obs.Count("serve.quota.allowed", 1)
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	q.obs.Count("serve.quota.denied", 1)
+	err := apiErrorf(http.StatusTooManyRequests, CodeQuotaExhausted,
+		"tenant %q is over quota (rate %.3g/s, burst %.3g)", tenant, rate, burst)
+	err.RetryAfter = retryAfterMS(wait)
+	return err
+}

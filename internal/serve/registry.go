@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"metainsight"
+)
+
+// DatasetSpec names one dataset the daemon serves and how to load it.
+type DatasetSpec struct {
+	// Name is the registry key requests address the dataset by.
+	Name string
+	// Path is the CSV file to load.
+	Path string
+	// MaxCardinality drops categorical columns with more distinct values
+	// (0 = library default of no cap; the CLI default is 100).
+	MaxCardinality int
+	// DeriveTemporal, when set, derives Year/Quarter/Month/Weekday columns
+	// from this date column before serving.
+	DeriveTemporal string
+}
+
+// dsEntry is one loaded dataset plus its long-lived session. The session is
+// the shared fast path for synchronous requests; durable jobs build their
+// own session (same options + durability) per run, sharing the dataset's
+// cached index structures.
+type dsEntry struct {
+	spec DatasetSpec
+	ds   *metainsight.Dataset
+	sess *metainsight.Session
+	opts []metainsight.SessionOption
+}
+
+// registry is the daemon's named-session registry. The entry set is fixed
+// at startup (and therefore bounded); sessions are closed on server
+// shutdown so substrate memory is released deterministically.
+type registry struct {
+	entries map[string]*dsEntry
+	names   []string
+}
+
+func newRegistry(specs []DatasetSpec, opts []metainsight.SessionOption) (*registry, error) {
+	r := &registry{entries: make(map[string]*dsEntry, len(specs))}
+	for _, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("serve: dataset with empty name (path %q)", spec.Path)
+		}
+		if _, dup := r.entries[spec.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate dataset name %q", spec.Name)
+		}
+		var loadOpts []metainsight.LoadOption
+		if spec.MaxCardinality > 0 {
+			loadOpts = append(loadOpts, metainsight.WithMaxDimensionCardinality(spec.MaxCardinality))
+		}
+		ds, err := metainsight.OpenCSV(spec.Path, loadOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dataset %q: %w", spec.Name, err)
+		}
+		if spec.DeriveTemporal != "" {
+			if ds, err = metainsight.DeriveTemporal(ds, spec.DeriveTemporal); err != nil {
+				return nil, fmt.Errorf("serve: dataset %q: %w", spec.Name, err)
+			}
+		}
+		sess, err := metainsight.NewSession(ds, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: dataset %q: %w", spec.Name, err)
+		}
+		r.entries[spec.Name] = &dsEntry{spec: spec, ds: ds, sess: sess, opts: opts}
+		r.names = append(r.names, spec.Name)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+func (r *registry) get(name string) (*dsEntry, bool) {
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// DatasetInfo is the wire form of one registered dataset.
+type DatasetInfo struct {
+	Name   string      `json:"name"`
+	Rows   int         `json:"rows"`
+	Cols   int         `json:"cols"`
+	Fields []FieldInfo `json:"fields"`
+}
+
+// FieldInfo is one column's name and kind.
+type FieldInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func (r *registry) list() []DatasetInfo {
+	out := make([]DatasetInfo, 0, len(r.names))
+	for _, name := range r.names {
+		e := r.entries[name]
+		info := DatasetInfo{Name: name, Rows: e.ds.Rows(), Cols: e.ds.Cols()}
+		for _, f := range e.ds.Fields() {
+			info.Fields = append(info.Fields, FieldInfo{Name: f.Name, Kind: f.Kind.String()})
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func (r *registry) close() {
+	for _, e := range r.entries {
+		_ = e.sess.Close()
+	}
+}

@@ -1,0 +1,342 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"metainsight"
+	"metainsight/internal/obs"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Datasets are the named datasets the daemon serves. At least one is
+	// required.
+	Datasets []DatasetSpec
+	// StateDir is the durable-state root; jobs journal under
+	// <StateDir>/jobs. Empty disables durable jobs (synchronous analysis
+	// still works).
+	StateDir string
+	// Admission configures the concurrency semaphore and shed policy.
+	Admission AdmissionConfig
+	// Quota configures per-tenant token buckets.
+	Quota QuotaConfig
+	// Jobs configures the durable job scheduler (Dir is derived from
+	// StateDir and must be left empty).
+	Jobs JobsConfig
+	// SessionOptions apply to every session the daemon builds (shared
+	// synchronous sessions and per-job durable sessions alike).
+	SessionOptions []metainsight.SessionOption
+	// Observer receives every serve.* counter/gauge and job transition.
+	// Nil is valid (metrics become no-ops, /metricsz reports empty).
+	Observer *obs.Observer
+	// Logf receives operational log lines (default: discard).
+	Logf func(string, ...any)
+	// UnitDelay throttles job progress callbacks — a test-only hook used by
+	// the chaos suite to stretch job runtime without perturbing results.
+	UnitDelay time.Duration
+	// TraceCapacity bounds per-request trace event buffers when a request
+	// sets "trace": true (default 4096).
+	TraceCapacity int
+}
+
+// Server is the resident insight service: an HTTP handler over a registry of
+// named sessions, with every request passing admission control and per-tenant
+// quotas, and with durable jobs that survive crashes. Construct with New,
+// route via Handler, release with Close.
+type Server struct {
+	cfg    Config
+	reg    *registry
+	adm    *admission
+	quo    *quotas
+	sched  *scheduler
+	obs    *obs.Observer
+	logf   func(string, ...any)
+	mux    *http.ServeMux
+	closed chan struct{}
+}
+
+// New builds a Server: loads every dataset, opens its session, recovers any
+// in-flight durable jobs from StateDir, and starts the job workers.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Datasets) == 0 {
+		return nil, fmt.Errorf("serve: no datasets configured")
+	}
+	if cfg.Jobs.Dir != "" {
+		return nil, fmt.Errorf("serve: Jobs.Dir is derived from StateDir; leave it empty")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg, err := newRegistry(cfg.Datasets, cfg.SessionOptions)
+	if err != nil {
+		return nil, err
+	}
+	adm := newAdmission(cfg.Admission, cfg.Observer)
+	quo := newQuotas(cfg.Quota, cfg.Observer)
+	jobsCfg := cfg.Jobs
+	if cfg.StateDir != "" {
+		jobsCfg.Dir = filepath.Join(cfg.StateDir, "jobs")
+	}
+	sched, err := newScheduler(jobsCfg, reg, adm, cfg.Observer, cfg.UnitDelay, logf)
+	if err != nil {
+		reg.close()
+		return nil, err
+	}
+	s := &Server{
+		cfg: cfg, reg: reg, adm: adm, quo: quo, sched: sched,
+		obs: cfg.Observer, logf: logf, closed: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStreamJob)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the server down: queued admissions are shed with a typed
+// shutting-down error, running jobs are interrupted at their next unit commit
+// (flushing a final checkpoint so the next process resumes bit-identically),
+// and every session's substrate memory is released. Idempotent.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+		close(s.closed)
+	}
+	s.adm.Close()
+	s.sched.stop()
+	s.reg.close()
+}
+
+// tenantOf extracts the requesting tenant from the X-Tenant header.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "anonymous"
+}
+
+// requestContext applies the X-Deadline-Ms header as a context deadline —
+// the HTTP half of deadline propagation: header → context → engine budget
+// machinery (the miner checks cancellation at every unit commit).
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, *APIError) {
+	ctx := r.Context()
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return nil, nil, apiErrorf(http.StatusBadRequest, CodeBadRequest,
+			"invalid X-Deadline-Ms %q: want a positive integer millisecond count", h)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(mustJSON(v))
+	_, _ = w.Write([]byte("\n"))
+}
+
+// AnalyzeResponse is the synchronous endpoint's reply.
+type AnalyzeResponse struct {
+	Insights json.RawMessage `json:"insights"`
+	Stats    json.RawMessage `json:"stats"`
+	// Degraded marks a best-effort result (some mining units failed but the
+	// fault policy kept going) — delivered with HTTP 206.
+	Degraded bool   `json:"degraded,omitempty"`
+	Warning  string `json:"warning,omitempty"`
+	// Metrics and TraceEvents are attached when the request set "trace".
+	Metrics     json.RawMessage `json:"metrics,omitempty"`
+	TraceEvents json.RawMessage `json:"trace_events,omitempty"`
+}
+
+// handleAnalyze runs one synchronous analysis. Order of gates: quota (cheap,
+// per-tenant) → decode/validate → dataset lookup → admission (may queue; may
+// shed on saturation or hopeless deadline) → execute.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	if aerr := s.quo.Allow(tenant); aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	var params AnalyzeParams
+	if err := json.NewDecoder(r.Body).Decode(&params); err != nil {
+		writeAPIError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err))
+		return
+	}
+	req, err := params.request()
+	if err != nil {
+		writeAPIError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "%v", err))
+		return
+	}
+	entry, ok := s.reg.get(params.Dataset)
+	if !ok {
+		writeAPIError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "unknown dataset %q", params.Dataset))
+		return
+	}
+	ctx, cancel, aerr := requestContext(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	defer cancel()
+
+	permit, aerr := s.adm.Acquire(ctx, tenant)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	defer permit.Release()
+
+	var reqObs *obs.Observer
+	if params.Trace {
+		capN := s.cfg.TraceCapacity
+		if capN <= 0 {
+			capN = 4096
+		}
+		reqObs = obs.New(obs.Options{TraceCapacity: capN})
+		req.Observer = reqObs
+	}
+
+	an, err := entry.sess.Analyze(ctx, req)
+	if an == nil {
+		writeAPIError(w, apiErrorf(http.StatusInternalServerError, CodeInternal, "analysis failed: %v", err))
+		return
+	}
+	resp := AnalyzeResponse{
+		Insights: mustJSON(an.Insights),
+		Stats:    mustJSON(an.Result.Stats),
+	}
+	if reqObs != nil {
+		resp.Metrics = mustJSON(reqObs.Snapshot())
+		resp.TraceEvents = mustJSON(reqObs.Trace().Events())
+	}
+	status := http.StatusOK
+	switch {
+	case errors.Is(err, metainsight.ErrDegraded):
+		resp.Degraded = true
+		resp.Warning = err.Error()
+		status = http.StatusPartialContent
+		s.obs.Count("serve.analyze.degraded", 1)
+	case an.Result.Stats.Cancelled:
+		// Deadline fired mid-mining: the engine stops at the next unit
+		// commit and ranks what it has — a best-effort partial result.
+		resp.Degraded = true
+		resp.Warning = "deadline expired mid-analysis; partial result"
+		status = http.StatusPartialContent
+		s.obs.Count("serve.analyze.cancelled", 1)
+	default:
+		s.obs.Count("serve.analyze.ok", 1)
+	}
+	writeJSON(w, status, resp)
+}
+
+// SubmitResponse acknowledges a durable job submission.
+type SubmitResponse struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+}
+
+// submitRequest is the POST /v1/jobs body: analysis params plus job knobs.
+type submitRequest struct {
+	AnalyzeParams
+	// CheckpointEvery overrides the snapshot cadence in unit commits.
+	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	if aerr := s.quo.Allow(tenant); aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	var body submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeAPIError(w, apiErrorf(http.StatusBadRequest, CodeBadRequest, "decoding request body: %v", err))
+		return
+	}
+	j, aerr := s.sched.submit(tenant, body.AnalyzeParams, body.CheckpointEvery)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.spec.ID, State: JobQueued})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.sched.list()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStreamJob streams a job's progressive discoveries as server-sent
+// events: "insight" per discovery, "snapshot" after a subscriber overflowed
+// its buffer (consolidated current top-k), "done" with the final status.
+func (s *Server) handleStreamJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, apiErrorf(http.StatusNotFound, CodeNotFound, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	sub := j.hub.subscribe(s.sched.cfg.StreamBuffer)
+	defer j.hub.unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if f, okf := w.(http.Flusher); okf {
+		f.Flush()
+	}
+	dropped := sub.serve(r.Context(), w, j.snapshotPayload)
+	if dropped > 0 {
+		s.obs.Count("serve.stream.dropped_to_snapshot", dropped)
+	}
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.reg.list()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inflight, queued := s.adm.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"inflight": inflight,
+		"queued":   queued,
+	})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		writeJSON(w, http.StatusOK, map[string]any{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.obs.Snapshot())
+}

@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"metainsight/internal/obs"
+)
+
+// writeHouseCSV materializes the canonical house-sales fixture (the same
+// shape the root package's tests mine) as a CSV file.
+func writeHouseCSV(t *testing.T) string {
+	t.Helper()
+	months := []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	valley := []float64{100, 70, 40, 10, 40, 70, 100, 100, 100, 100, 100, 100}
+	julyValley := []float64{100, 100, 100, 100, 70, 40, 10, 40, 70, 100, 100, 100}
+	var b strings.Builder
+	b.WriteString("City,Month,Sales\n")
+	add := func(city string, series []float64) {
+		for m, v := range series {
+			fmt.Fprintf(&b, "%s,%s,%s\n", city, months[m], strconv.FormatFloat(v, 'f', -1, 64))
+		}
+	}
+	for _, city := range []string{"LA", "SF", "SJ", "Oakland", "Sacramento"} {
+		add(city, valley)
+	}
+	add("San Diego", julyValley)
+	path := filepath.Join(t.TempDir(), "house.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Datasets: []DatasetSpec{{Name: "house", Path: writeHouseCSV(t)}},
+		Observer: obs.New(obs.Options{}),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs
+}
+
+func postJSON(t *testing.T, url string, body string, headers map[string]string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJSON(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func errorCode(t *testing.T, data []byte) ErrorCode {
+	t.Helper()
+	var body struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil || body.Error == nil {
+		t.Fatalf("response is not a typed error body: %s", data)
+	}
+	return body.Error.Code
+}
+
+const analyzeBody = `{"dataset":"house","top_k":5,"measures":[{"agg":"SUM","column":"Sales"}]}`
+
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	status, data := postJSON(t, hs.URL+"/v1/analyze", analyzeBody, nil)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, data)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	var insights []json.RawMessage
+	if err := json.Unmarshal(resp.Insights, &insights); err != nil {
+		t.Fatal(err)
+	}
+	if len(insights) == 0 {
+		t.Fatal("analysis returned no insights")
+	}
+	if resp.Degraded {
+		t.Fatalf("healthy run flagged degraded: %s", resp.Warning)
+	}
+	if !strings.Contains(string(resp.Insights), "San Diego") {
+		t.Fatal("expected the San Diego exception among ranked insights")
+	}
+}
+
+func TestAnalyzeTraceAttachesMetricsAndEvents(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	body := `{"dataset":"house","top_k":3,"trace":true,"measures":[{"agg":"SUM","column":"Sales"}]}`
+	status, data := postJSON(t, hs.URL+"/v1/analyze", body, nil)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, data)
+	}
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Metrics) == 0 {
+		t.Fatal("trace=true returned no metrics snapshot")
+	}
+	var events []json.RawMessage
+	if err := json.Unmarshal(resp.TraceEvents, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace=true returned no trace events")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	status, data := postJSON(t, hs.URL+"/v1/analyze", `{"dataset":"nope"}`, nil)
+	if status != http.StatusNotFound || errorCode(t, data) != CodeNotFound {
+		t.Fatalf("unknown dataset: status %d, body %s", status, data)
+	}
+	status, data = postJSON(t, hs.URL+"/v1/analyze", `{not json`, nil)
+	if status != http.StatusBadRequest || errorCode(t, data) != CodeBadRequest {
+		t.Fatalf("bad body: status %d, body %s", status, data)
+	}
+	status, data = postJSON(t, hs.URL+"/v1/analyze", `{"dataset":"house","measures":[{"agg":"MEDIAN","column":"Sales"}]}`, nil)
+	if status != http.StatusBadRequest || errorCode(t, data) != CodeBadRequest {
+		t.Fatalf("bad aggregate: status %d, body %s", status, data)
+	}
+	status, data = postJSON(t, hs.URL+"/v1/analyze", analyzeBody, map[string]string{"X-Deadline-Ms": "soon"})
+	if status != http.StatusBadRequest || errorCode(t, data) != CodeBadRequest {
+		t.Fatalf("bad deadline header: status %d, body %s", status, data)
+	}
+}
+
+func TestQuotaOverHTTP(t *testing.T) {
+	_, hs := newTestServer(t, func(cfg *Config) {
+		cfg.Quota = QuotaConfig{Rate: 0.001, Burst: 2} // two requests, then a long refill
+	})
+	hdr := map[string]string{"X-Tenant": "acme"}
+	for i := 0; i < 2; i++ {
+		if status, data := postJSON(t, hs.URL+"/v1/analyze", analyzeBody, hdr); status != http.StatusOK {
+			t.Fatalf("burst request %d: status %d, body %s", i, status, data)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, hs.URL+"/v1/analyze", strings.NewReader(analyzeBody))
+	req.Header.Set("X-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || errorCode(t, data) != CodeQuotaExhausted {
+		t.Fatalf("over-quota: status %d, body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	// Another tenant is unaffected.
+	if status, data := postJSON(t, hs.URL+"/v1/analyze", analyzeBody, map[string]string{"X-Tenant": "other"}); status != http.StatusOK {
+		t.Fatalf("independent tenant: status %d, body %s", status, data)
+	}
+}
+
+// TestConcurrentTenantsShedTyped hammers the endpoint from several tenants
+// with tight quotas: every response must be either a full success or a typed
+// shed — never a hang, never an untyped failure.
+func TestConcurrentTenantsShedTyped(t *testing.T) {
+	_, hs := newTestServer(t, func(cfg *Config) {
+		cfg.Quota = QuotaConfig{Rate: 0.001, Burst: 3}
+		cfg.Admission = AdmissionConfig{MaxConcurrent: 2, MaxQueue: 4}
+	})
+	var wg sync.WaitGroup
+	type outcome struct {
+		status int
+		code   ErrorCode
+	}
+	results := make(chan outcome, 24)
+	for _, tenant := range []string{"a", "b", "c"} {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				status, data := postJSON(t, hs.URL+"/v1/analyze", analyzeBody,
+					map[string]string{"X-Tenant": tenant})
+				o := outcome{status: status}
+				if status != http.StatusOK {
+					o.code = errorCode(t, data)
+				}
+				results <- o
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	close(results)
+	var ok, shed int
+	for o := range results {
+		switch o.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			if o.code != CodeQuotaExhausted {
+				t.Fatalf("429 with code %q", o.code)
+			}
+			shed++
+		case http.StatusServiceUnavailable:
+			if o.code != CodeQueueFull && o.code != CodeDeadlineUnattainable {
+				t.Fatalf("503 with code %q", o.code)
+			}
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", o.status)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded under load")
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed despite burst 3 per tenant")
+	}
+	// Each tenant can pass at most its burst through the quota gate.
+	if ok > 9 {
+		t.Fatalf("%d successes exceed the 3-tenant x burst-3 quota ceiling", ok)
+	}
+}
+
+func TestJobLifecycleAndRestartRecovery(t *testing.T) {
+	state := t.TempDir()
+	csv := writeHouseCSV(t)
+	mkCfg := func() Config {
+		return Config{
+			Datasets: []DatasetSpec{{Name: "house", Path: csv}},
+			StateDir: state,
+			Observer: obs.New(obs.Options{}),
+		}
+	}
+	srv, err := New(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+
+	status, data := postJSON(t, hs.URL+"/v1/jobs",
+		`{"dataset":"house","top_k":5,"checkpoint_every":1,"measures":[{"agg":"SUM","column":"Sales"}]}`,
+		map[string]string{"X-Tenant": "acme"})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", status, data)
+	}
+	var ack SubmitResponse
+	if err := json.Unmarshal(data, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID == "" {
+		t.Fatal("submit acknowledged without a job id")
+	}
+
+	st := waitJobDone(t, hs.URL, ack.ID, 30*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("job finished in state %q (error %q)", st.State, st.Error)
+	}
+	if len(st.Insights) == 0 || st.InsightsFound == 0 {
+		t.Fatal("done job carries no insights")
+	}
+
+	// The stream endpoint serves a finished job's final status immediately.
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + ack.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stream), "event: done") {
+		t.Fatalf("stream of a done job missing done event:\n%s", stream)
+	}
+
+	// Restart: a fresh server over the same state directory must load the
+	// finished job from its journal with identical results.
+	hs.Close()
+	srv.Close()
+	srv2, err := New(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		hs2.Close()
+		srv2.Close()
+	}()
+	status, data = getJSON(t, hs2.URL+"/v1/jobs/"+ack.ID)
+	if status != http.StatusOK {
+		t.Fatalf("job lookup after restart: status %d, body %s", status, data)
+	}
+	var st2 JobStatus
+	if err := json.Unmarshal(data, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != JobDone {
+		t.Fatalf("restarted server reports state %q, want done", st2.State)
+	}
+	if string(st2.Insights) != string(st.Insights) {
+		t.Fatal("recovered job's insights differ from the original result")
+	}
+}
+
+func waitJobDone(t *testing.T, base, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		status, data := getJSON(t, base+"/v1/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("job status: %d, body %s", status, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %q after %v", id, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestJobsDisabledWithoutStateDir(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	status, data := postJSON(t, hs.URL+"/v1/jobs", `{"dataset":"house"}`, nil)
+	if status != http.StatusServiceUnavailable || errorCode(t, data) != CodeShuttingDown {
+		t.Fatalf("jobs without state dir: status %d, body %s", status, data)
+	}
+}
+
+func TestDatasetsHealthzMetricsz(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	status, data := getJSON(t, hs.URL+"/v1/datasets")
+	if status != http.StatusOK || !strings.Contains(string(data), `"house"`) {
+		t.Fatalf("datasets: status %d, body %s", status, data)
+	}
+	if status, _ := getJSON(t, hs.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz: status %d", status)
+	}
+	// Drive one request so serve.* metrics exist, then read them back.
+	if status, data := postJSON(t, hs.URL+"/v1/analyze", analyzeBody, nil); status != http.StatusOK {
+		t.Fatalf("analyze: status %d, body %s", status, data)
+	}
+	status, data = getJSON(t, hs.URL+"/metricsz")
+	if status != http.StatusOK {
+		t.Fatalf("metricsz: status %d", status)
+	}
+	for _, metric := range []string{"serve.admitted", "serve.analyze.ok"} {
+		if !strings.Contains(string(data), metric) {
+			t.Fatalf("metricsz missing %q:\n%s", metric, data)
+		}
+	}
+}
+
+// TestDeadlineUnattainableOverHTTP wedges the single execution slot with a
+// slow durable job, then sends a deadlined request: the admission controller
+// must reject it immediately with the typed unattainable-deadline error.
+func TestDeadlineUnattainableOverHTTP(t *testing.T) {
+	state := t.TempDir()
+	_, hs := newTestServer(t, func(cfg *Config) {
+		cfg.StateDir = state
+		cfg.Admission = AdmissionConfig{MaxConcurrent: 1, ExpectedServiceTime: time.Hour}
+		cfg.UnitDelay = 50 * time.Millisecond
+	})
+	status, data := postJSON(t, hs.URL+"/v1/jobs",
+		`{"dataset":"house","top_k":5,"measures":[{"agg":"SUM","column":"Sales"}]}`, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d, body %s", status, data)
+	}
+	// Wait for the job to occupy the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, hd := getJSON(t, hs.URL+"/healthz")
+		var h struct {
+			Inflight int `json:"inflight"`
+		}
+		if err := json.Unmarshal(hd, &h); err != nil {
+			t.Fatal(err)
+		}
+		if h.Inflight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never occupied the execution slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status, data = postJSON(t, hs.URL+"/v1/analyze", analyzeBody,
+		map[string]string{"X-Deadline-Ms": "100"})
+	if status != http.StatusServiceUnavailable || errorCode(t, data) != CodeDeadlineUnattainable {
+		t.Fatalf("deadlined request under saturation: status %d, body %s", status, data)
+	}
+}

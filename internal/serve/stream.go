@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// streamEvent is one server-sent event: a name and a JSON payload.
+type streamEvent struct {
+	name string
+	data []byte
+}
+
+// streamHub fans a job's progressive discoveries out to any number of SSE
+// subscribers with per-subscriber backpressure isolation: each subscriber
+// owns a bounded event buffer, and a subscriber that stalls (slow client,
+// wedged proxy) overflows to *snapshot mode* — its queued backlog is
+// discarded and, when it drains again, it receives one consolidated snapshot
+// of the current top-k instead of the missed increments. Publishing is
+// always non-blocking, so a stalled consumer can never wedge the miner's
+// commit path.
+type streamHub struct {
+	mu    sync.Mutex
+	subs  map[*subscriber]struct{}
+	done  bool
+	final []byte
+}
+
+// subscriber is one SSE consumer attached to a hub.
+type subscriber struct {
+	hub  *streamHub
+	ch   chan streamEvent
+	kick chan struct{} // cap-1 wake signal for overflow / completion
+
+	// guarded by hub.mu
+	overflowed bool
+	dropped    int64
+}
+
+func newStreamHub() *streamHub {
+	return &streamHub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe attaches a consumer with a buffer of bufN events (minimum 1).
+// If the stream already finished, the subscriber still receives the final
+// event from serve.
+func (h *streamHub) subscribe(bufN int) *subscriber {
+	if bufN < 1 {
+		bufN = 1
+	}
+	s := &subscriber{hub: h, ch: make(chan streamEvent, bufN), kick: make(chan struct{}, 1)}
+	h.mu.Lock()
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+	return s
+}
+
+func (h *streamHub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.mu.Unlock()
+}
+
+// publish offers one event to every subscriber without ever blocking: a
+// full buffer flips the subscriber into snapshot mode and the event is
+// counted as dropped for it.
+func (h *streamHub) publish(name string, data []byte) {
+	ev := streamEvent{name: name, data: data}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	for s := range h.subs {
+		if s.overflowed {
+			s.dropped++
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.overflowed = true
+			s.dropped++
+			select {
+			case s.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// finish marks the stream complete with a final payload and wakes every
+// subscriber. Publishing after finish is a no-op.
+func (h *streamHub) finish(final []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.done = true
+	h.final = final
+	for s := range h.subs {
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// serve writes the subscription as an SSE stream until the stream finishes
+// or the client context fires. snapshot produces the consolidated catch-up
+// payload after an overflow (dropped = events missed since the last write).
+// It returns the number of events dropped-to-snapshot over the
+// subscription's lifetime.
+func (s *subscriber) serve(ctx context.Context, w http.ResponseWriter, snapshot func(dropped int64) []byte) int64 {
+	flusher, _ := w.(http.Flusher)
+	write := func(ev streamEvent) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	var totalDropped int64
+	for {
+		// Drain whatever is queued first.
+		select {
+		case ev := <-s.ch:
+			if !write(ev) {
+				return totalDropped
+			}
+			continue
+		default:
+		}
+		// Buffer empty: resolve overflow and completion state.
+		s.hub.mu.Lock()
+		over, dropped := s.overflowed, s.dropped
+		s.overflowed, s.dropped = false, 0
+		done, final := s.hub.done, s.hub.final
+		s.hub.mu.Unlock()
+		if over {
+			totalDropped += dropped
+			if !write(streamEvent{name: "snapshot", data: snapshot(dropped)}) {
+				return totalDropped
+			}
+			continue
+		}
+		if done {
+			// A publish may have raced the finish; flush it before done.
+			select {
+			case ev := <-s.ch:
+				if !write(ev) {
+					return totalDropped
+				}
+				continue
+			default:
+			}
+			write(streamEvent{name: "done", data: final})
+			return totalDropped
+		}
+		select {
+		case ev := <-s.ch:
+			if !write(ev) {
+				return totalDropped
+			}
+		case <-s.kick:
+		case <-ctx.Done():
+			return totalDropped
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStreamDeliversInOrderThenDone(t *testing.T) {
+	h := newStreamHub()
+	sub := h.subscribe(16)
+	defer h.unsubscribe(sub)
+	h.publish("insight", []byte(`{"seq":1}`))
+	h.publish("insight", []byte(`{"seq":2}`))
+	h.finish([]byte(`{"state":"done"}`))
+
+	rec := httptest.NewRecorder()
+	dropped := sub.serve(context.Background(), rec, func(int64) []byte { return nil })
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	body := rec.Body.String()
+	want := "event: insight\ndata: {\"seq\":1}\n\n" +
+		"event: insight\ndata: {\"seq\":2}\n\n" +
+		"event: done\ndata: {\"state\":\"done\"}\n\n"
+	if body != want {
+		t.Fatalf("stream body:\n%q\nwant:\n%q", body, want)
+	}
+}
+
+// TestStreamOverflowDropsToSnapshot verifies the backpressure contract: a
+// subscriber whose buffer fills stops receiving increments, and when it
+// drains it gets one consolidated snapshot instead — publish never blocks.
+func TestStreamOverflowDropsToSnapshot(t *testing.T) {
+	h := newStreamHub()
+	sub := h.subscribe(2)
+	defer h.unsubscribe(sub)
+	for i := 1; i <= 5; i++ {
+		h.publish("insight", []byte(fmt.Sprintf(`{"seq":%d}`, i))) // 3, 4, 5 overflow
+	}
+	h.finish([]byte(`{"state":"done"}`))
+
+	rec := httptest.NewRecorder()
+	dropped := sub.serve(context.Background(), rec, func(d int64) []byte {
+		return []byte(fmt.Sprintf(`{"dropped":%d}`, d))
+	})
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	body := rec.Body.String()
+	for _, part := range []string{
+		`data: {"seq":1}`, `data: {"seq":2}`,
+		"event: snapshot\ndata: {\"dropped\":3}",
+		"event: done",
+	} {
+		if !strings.Contains(body, part) {
+			t.Fatalf("stream body missing %q:\n%s", part, body)
+		}
+	}
+	if strings.Contains(body, `{"seq":3}`) {
+		t.Fatal("overflowed increment was delivered instead of snapshotted")
+	}
+}
+
+func TestStreamLateSubscriberGetsFinal(t *testing.T) {
+	h := newStreamHub()
+	h.publish("insight", []byte(`{"seq":1}`))
+	h.finish([]byte(`{"state":"done"}`))
+	h.publish("insight", []byte(`{"seq":2}`)) // post-finish publish is a no-op
+
+	sub := h.subscribe(4)
+	defer h.unsubscribe(sub)
+	rec := httptest.NewRecorder()
+	sub.serve(context.Background(), rec, func(int64) []byte { return nil })
+	body := rec.Body.String()
+	if !strings.Contains(body, "event: done\ndata: {\"state\":\"done\"}") {
+		t.Fatalf("late subscriber missing final event:\n%s", body)
+	}
+	if strings.Contains(body, "seq") {
+		t.Fatalf("late subscriber received pre-subscription events:\n%s", body)
+	}
+}
+
+func TestStreamClientCancelUnblocksServe(t *testing.T) {
+	h := newStreamHub()
+	sub := h.subscribe(4)
+	defer h.unsubscribe(sub)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		sub.serve(ctx, httptest.NewRecorder(), func(int64) []byte { return nil })
+		close(done)
+	}()
+	cancel()
+	<-done // must return; the test hangs (and times out) otherwise
+}

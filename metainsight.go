@@ -331,6 +331,7 @@ type analyzerOptions struct {
 	ckDir       string
 	ckEvery     int64
 	resumeDir   string
+	subLimit    int
 }
 
 // WithMeasures sets the measure set M (default: SUM over every measure

@@ -284,6 +284,8 @@ var (
 	// without sharded execution.
 	ErrShardFaultsWithoutShards = errors.New(
 		"metainsight: ResilienceConfig.ShardFaults requires ExecConfig.Shards > 0")
+	// ErrSessionClosed: Analyze was called on a closed session.
+	ErrSessionClosed = errors.New("metainsight: session is closed")
 )
 
 // resolveOptions applies the option list over the defaults and validates
@@ -321,6 +323,9 @@ func resolveOptions(opts []Option) (*analyzerOptions, error) {
 	if o.qcBytes < 0 || o.pcBytes < 0 {
 		return nil, fmt.Errorf("%w: cache bytes %d/%d", ErrNegativeOption, o.qcBytes, o.pcBytes)
 	}
+	if o.subLimit < 0 {
+		return nil, fmt.Errorf("%w: substrate cache limit %d", ErrNegativeOption, o.subLimit)
+	}
 	if o.shards > 0 && o.substrate != nil {
 		return nil, ErrShardSubstrateConflict
 	}
@@ -352,8 +357,38 @@ type Session struct {
 	d    *Dataset
 	opts []Option
 
-	mu   sync.Mutex
-	subs map[string]Substrate
+	mu       sync.Mutex
+	closed   bool
+	subs     map[string]*substrateEntry
+	subLimit int
+	useSeq   int64
+}
+
+// substrateEntry is one cached physical substrate plus the bookkeeping the
+// bounded registry evicts by: lastUse orders entries least-recently-used
+// first, ctor (the construction sequence number) breaks ties, so eviction is
+// a deterministic function of the access history alone.
+type substrateEntry struct {
+	sub     Substrate
+	lastUse int64
+	ctor    int64
+}
+
+// DefaultSubstrateCacheLimit bounds how many distinct physical substrates a
+// session retains. Each distinct substrate-shaping configuration (shard
+// layout, scan parallelism, MIN/MAX column set, fault plan, observer
+// identity) builds one substrate; a resident server handling heterogeneous
+// requests would otherwise grow the registry forever. Override with
+// WithSubstrateCacheLimit.
+const DefaultSubstrateCacheLimit = 16
+
+// WithSubstrateCacheLimit bounds the session's substrate registry to at most
+// n cached physical substrates, evicted least-recently-used first (ties by
+// construction order). 0 keeps DefaultSubstrateCacheLimit. Eviction never
+// changes results — an evicted substrate is rebuilt on next use — it only
+// re-pays partitioning and plan-cache warmup.
+func WithSubstrateCacheLimit(n int) Option {
+	return func(o *analyzerOptions) { o.subLimit = n }
 }
 
 // NewSession creates a session over a dataset. Construction validates the
@@ -363,18 +398,46 @@ func NewSession(d *Dataset, opts ...SessionOption) (*Session, error) {
 	if d == nil {
 		return nil, errors.New("metainsight: nil dataset")
 	}
-	if _, err := resolveOptions(opts); err != nil {
+	o, err := resolveOptions(opts)
+	if err != nil {
 		return nil, err
 	}
+	limit := o.subLimit
+	if limit == 0 {
+		limit = DefaultSubstrateCacheLimit
+	}
 	return &Session{
-		d:    d,
-		opts: append([]Option(nil), opts...),
-		subs: make(map[string]Substrate),
+		d:        d,
+		opts:     append([]Option(nil), opts...),
+		subs:     make(map[string]*substrateEntry),
+		subLimit: limit,
 	}, nil
 }
 
 // Dataset returns the dataset the session analyzes.
 func (s *Session) Dataset() *Dataset { return s.d }
+
+// Close releases the session's cached physical substrates and marks the
+// session closed; subsequent Analyze calls fail with ErrSessionClosed.
+// In-flight Analyze calls are unaffected (they hold their substrate already).
+// Close is idempotent. A resident server holding a registry of sessions
+// should Close a session when evicting it, so the substrate memory is
+// reclaimable immediately rather than when the GC notices.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.subs = nil
+	return nil
+}
+
+// substrateCount reports how many physical substrates the registry currently
+// retains (tests pin the LRU bound with it).
+func (s *Session) substrateCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
 
 // Analysis is the outcome of one Session.Analyze call: the ranked top-k
 // insights plus the full mining result (every candidate and the run
@@ -419,6 +482,12 @@ func (s *Session) Analyze(ctx context.Context, req Request) (*Analysis, error) {
 // request's overrides, resolved and validated, over substrates reused from
 // the session registry.
 func (s *Session) analyzer(req Request) (*Analyzer, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrSessionClosed
+	}
 	all := append(append([]Option(nil), s.opts...), req.options()...)
 	o, err := resolveOptions(all)
 	if err != nil {
@@ -493,14 +562,33 @@ func (s *Session) substrateFor(d *Dataset, o *analyzerOptions, need map[string]b
 		o.shards, o.shardBlock, o.shardConc, o.scanPar, cols, o.shardFaults, o.observer)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sub, ok := s.subs[key]; ok {
-		return sub, nil
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	s.useSeq++
+	if e, ok := s.subs[key]; ok {
+		e.lastUse = s.useSeq
+		return e.sub, nil
 	}
 	sub, err := build()
 	if err != nil {
 		return nil, err
 	}
-	s.subs[key] = sub
+	s.subs[key] = &substrateEntry{sub: sub, lastUse: s.useSeq, ctor: s.useSeq}
+	// Bounded registry: evict least-recently-used entries (ties broken by
+	// construction order) until the limit holds. Eviction only drops the
+	// cached reference; an in-flight Analyze keeps its substrate alive.
+	for s.subLimit > 0 && len(s.subs) > s.subLimit {
+		var victim string
+		var ve *substrateEntry
+		for k, e := range s.subs {
+			if ve == nil || e.lastUse < ve.lastUse ||
+				(e.lastUse == ve.lastUse && e.ctor < ve.ctor) {
+				victim, ve = k, e
+			}
+		}
+		delete(s.subs, victim)
+	}
 	return sub, nil
 }
 

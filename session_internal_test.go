@@ -1,0 +1,125 @@
+package metainsight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// lruTable builds a small in-package fixture (the external houseRecords
+// helper lives in metainsight_test and is out of reach here).
+func lruTable(t *testing.T) *Dataset {
+	t.Helper()
+	header := []string{"City", "Month", "Sales"}
+	var records [][]string
+	for _, city := range []string{"A", "B", "C"} {
+		for m := 0; m < 12; m++ {
+			records = append(records, []string{
+				city, fmt.Sprintf("M%02d", m), strconv.Itoa(10 + (m*7+len(city))%90),
+			})
+		}
+	}
+	tab, err := FromRecords("lru", header, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestSessionSubstrateLRUBound pins the bounded-registry contract: distinct
+// substrate-shaping configurations (here: distinct per-request observers,
+// the exact shape a resident server produces when every request traces) must
+// not grow the registry past the configured limit.
+func TestSessionSubstrateLRUBound(t *testing.T) {
+	tab := lruTable(t)
+	s, err := NewSession(tab, WithSubstrateCacheLimit(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		req := Request{TopK: 3, Observer: NewObserver(ObserverOptions{})}
+		if _, err := s.Analyze(context.Background(), req); err != nil {
+			t.Fatalf("analyze %d: %v", i, err)
+		}
+		if n := s.substrateCount(); n > 2 {
+			t.Fatalf("after %d distinct-observer requests the registry holds %d substrates, limit 2", i+1, n)
+		}
+	}
+	// Repeating one configuration must not grow the registry at all.
+	ob := NewObserver(ObserverOptions{})
+	before := s.substrateCount()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Analyze(context.Background(), Request{TopK: 3, Observer: ob}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.substrateCount(); n > before+1 {
+		t.Fatalf("repeated identical config grew the registry from %d to %d", before, n)
+	}
+}
+
+// TestSessionEvictionPreservesResults: an evicted substrate is rebuilt on
+// next use with bit-identical output — eviction is purely a memory decision.
+func TestSessionEvictionPreservesResults(t *testing.T) {
+	tab := lruTable(t)
+	s, err := NewSession(tab, WithSubstrateCacheLimit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	obA := NewObserver(ObserverOptions{})
+	run := func(ob *Observer) string {
+		an, err := s.Analyze(context.Background(), Request{TopK: 5, Observer: ob})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out string
+		for _, in := range an.Insights {
+			out += in.String() + "\n"
+		}
+		return out
+	}
+	first := run(obA)
+	// Evict obA's substrate by running a different configuration through the
+	// size-1 registry, then rebuild it.
+	run(NewObserver(ObserverOptions{}))
+	if again := run(obA); again != first {
+		t.Fatalf("results changed across eviction:\nfirst:\n%s\nagain:\n%s", first, again)
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	tab := lruTable(t)
+	s, err := NewSession(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Analyze(context.Background(), Request{TopK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.substrateCount() == 0 {
+		t.Fatal("analyze cached no substrate")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.substrateCount() != 0 {
+		t.Fatal("close retained substrates")
+	}
+	if _, err := s.Analyze(context.Background(), Request{TopK: 3}); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("analyze on closed session: err = %v, want ErrSessionClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestNegativeSubstrateCacheLimit(t *testing.T) {
+	tab := lruTable(t)
+	if _, err := NewSession(tab, WithSubstrateCacheLimit(-1)); !errors.Is(err, ErrNegativeOption) {
+		t.Fatalf("err = %v, want ErrNegativeOption", err)
+	}
+}
