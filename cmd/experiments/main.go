@@ -13,7 +13,7 @@
 // verifies Workers=1 and Workers=8 produce identical results and accounting,
 // exiting non-zero on any mismatch. The extra "bench" target runs the
 // reproducible physical scan-layer bench harness and writes its report to
-// -bench-out (default BENCH_7.json). Neither is part of "all".
+// -bench-out (default BENCH_10.json). Neither is part of "all".
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 	var (
 		run      = flag.String("run", "all", "comma-separated experiments to run (table1, fig6, fig7, table3, table4, table5, fig8, fig12, icube, discussion, pruning, smoke, bench) or 'all'")
 		seed     = flag.Int64("seed", 20210620, "rater-model seed for fig8")
-		benchOut = flag.String("bench-out", "BENCH_7.json", "output path of the bench report (bench target)")
+		benchOut = flag.String("bench-out", "BENCH_10.json", "output path of the bench report (bench target)")
 	)
 	flag.Parse()
 

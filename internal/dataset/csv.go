@@ -35,6 +35,12 @@ type LoadStats struct {
 	// BadMeasureSkipped counts rows dropped for a non-finite (NaN/±Inf) or
 	// unparseable measure cell (BadMeasures = RowSkip only).
 	BadMeasureSkipped int
+	// Postings is the compressed posting-index footprint across all dimension
+	// columns: per-container-type counts, compressed bytes, and — via
+	// CompressionRatio — the saving over 4-byte-per-row sorted slices.
+	// Table.LoadStats fills it in (building the indexes if needed); it is not
+	// an ingestion counter.
+	Postings BitmapStats
 }
 
 // LoadOptions controls CSV ingestion and type inference.

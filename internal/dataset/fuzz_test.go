@@ -59,6 +59,67 @@ func FuzzLoadCSV(f *testing.F) {
 	})
 }
 
+// FuzzContainerRoundTrip feeds arbitrary byte strings — decoded into a
+// sorted, duplicate-free row-id set — through the compressed container
+// build, and checks the three invariants every representation must hold:
+// exact round trip to the original ids, cardinality agreement, and
+// intersection against a second derived set matching the sorted-slice
+// reference. Run with `go test -fuzz=FuzzContainerRoundTrip
+// ./internal/dataset` to explore beyond the seed corpus.
+func FuzzContainerRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 1, 2, 3, 255}, uint8(3))
+	f.Add([]byte{7, 7, 7, 9}, uint8(2))
+	f.Add([]byte{0xff, 0xff, 0x01, 0x80}, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, stride uint8) {
+		if stride == 0 {
+			stride = 1
+		}
+		// Decode bytes into ascending row ids: each byte advances the cursor
+		// by 1..256 scaled by stride, so small inputs still cross chunk
+		// boundaries and produce runs (consecutive ids) when bytes are zero.
+		rows := make([]int32, 0, len(data))
+		cur := int32(-1)
+		for _, d := range data {
+			cur += 1 + int32(d)*int32(stride)
+			if cur < 0 { // overflow guard
+				break
+			}
+			rows = append(rows, cur)
+		}
+		bm := NewBitmapFromSorted(rows)
+		if bm.Cardinality() != len(rows) {
+			t.Fatalf("cardinality %d, want %d", bm.Cardinality(), len(rows))
+		}
+		got := bm.ToArray(nil)
+		for i := range rows {
+			if got[i] != rows[i] {
+				t.Fatalf("round trip diverges at %d: got %d, want %d", i, got[i], rows[i])
+			}
+		}
+		// Every other id forms a second set; compressed AND must agree with
+		// the sorted-slice reference intersection.
+		half := make([]int32, 0, len(rows)/2)
+		for i := 0; i < len(rows); i += 2 {
+			half = append(half, rows[i])
+		}
+		want := Intersect(rows, half)
+		and := And(bm, NewBitmapFromSorted(half)).ToArray(nil)
+		if len(and) != len(want) {
+			t.Fatalf("AND cardinality %d, want %d", len(and), len(want))
+		}
+		for i := range want {
+			if and[i] != want[i] {
+				t.Fatalf("AND diverges at %d: got %d, want %d", i, and[i], want[i])
+			}
+		}
+		st := bm.Stats()
+		if st.Cardinality != int64(len(rows)) || st.Containers != st.ArrayContainers+st.RunContainers+st.BitmapContainers {
+			t.Fatalf("inconsistent stats %+v", st)
+		}
+	})
+}
+
 // FuzzTemporalLess checks the comparator provides a strict weak ordering on
 // arbitrary strings: irreflexive and asymmetric (required by sort.Slice).
 func FuzzTemporalLess(f *testing.F) {

@@ -61,6 +61,47 @@ func (c *DimColumn) buildPostings() {
 	c.post.rows = rows
 }
 
+// PostingsBitmap returns the compressed bitmap posting set of the given
+// dictionary code, or nil for an out-of-range code (e.g. the -1 of an absent
+// filter value). The first call per column materializes the bitmaps for every
+// code in one O(rows) pass over the dictionary codes — row ids arrive in
+// ascending order per code by construction, which is exactly the builder's
+// input contract. Shard views build from their own code subslice, so no
+// parent posting lists are forced into existence.
+func (c *DimColumn) PostingsBitmap(code int) *Bitmap {
+	if code < 0 || code >= len(c.dict) {
+		return nil
+	}
+	c.bmOnce.Do(c.buildBitmapPostings)
+	return c.bmPost[code]
+}
+
+func (c *DimColumn) buildBitmapPostings() {
+	builders := make([]*bitmapBuilder, len(c.dict))
+	for i := range builders {
+		builders[i] = newBitmapBuilder()
+	}
+	for r, code := range c.codes {
+		builders[code].Add(int32(r))
+	}
+	bms := make([]*Bitmap, len(builders))
+	for i, bb := range builders {
+		bms[i] = bb.Finish()
+	}
+	c.bmPost = bms
+}
+
+// BitmapPostingsStats builds the column's bitmap postings if needed and
+// reports their aggregate container composition and byte footprint.
+func (c *DimColumn) BitmapPostingsStats() BitmapStats {
+	c.bmOnce.Do(c.buildBitmapPostings)
+	var s BitmapStats
+	for _, bm := range c.bmPost {
+		s.Add(bm.Stats())
+	}
+	return s
+}
+
 // sliceRows returns, for every dictionary code, the parent rows in [lo, hi)
 // rebased to start at zero. It builds the parent's own postings on first use,
 // so all shard views of one table share a single O(rows) counting pass.

@@ -19,14 +19,15 @@ const gallopRatio = 8
 // Intersect computes the intersection of ascending-sorted row-id lists,
 // smallest list first so every pairwise step shrinks the candidate set as
 // fast as possible. It returns nil when lists is empty, and never mutates
-// its inputs. The result is freshly allocated unless it aliases the single
-// input of a one-list call.
+// its inputs. The result is always freshly allocated — the one-list case
+// returns a defensive copy, so no caller holding an Intersect result can
+// corrupt a posting list behind the index's back.
 func Intersect(lists ...[]int32) []int32 {
 	switch len(lists) {
 	case 0:
 		return nil
 	case 1:
-		return lists[0]
+		return append([]int32(nil), lists[0]...)
 	}
 	ordered := make([][]int32, len(lists))
 	copy(ordered, lists)

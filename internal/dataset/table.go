@@ -26,6 +26,9 @@ type DimColumn struct {
 	postOnce sync.Once
 	post     *postings // lazily built inverted index (see index.go)
 
+	bmOnce sync.Once
+	bmPost []*Bitmap // code -> compressed posting set (see bitmap.go)
+
 	zoneMu sync.Mutex
 	zones  map[int]*ZoneMap // block size -> lazily built zone map (see zones.go)
 
@@ -91,8 +94,25 @@ type Table struct {
 }
 
 // LoadStats reports what ingestion kept and dropped for tables built by
-// FromRecords/LoadCSV; it is zero for tables assembled directly via Builder.
-func (t *Table) LoadStats() LoadStats { return t.load }
+// FromRecords/LoadCSV (the ingestion counters are zero for tables assembled
+// directly via Builder), plus the compressed posting-index footprint, which
+// is built on first request and so is populated for every table.
+func (t *Table) LoadStats() LoadStats {
+	ls := t.load
+	ls.Postings = t.PostingsStats()
+	return ls
+}
+
+// PostingsStats builds the bitmap posting indexes of every dimension column
+// (an idempotent one-off O(dims × rows) pass) and returns their aggregate
+// container composition and byte footprint.
+func (t *Table) PostingsStats() BitmapStats {
+	var s BitmapStats
+	for _, d := range t.dims {
+		s.Add(d.BitmapPostingsStats())
+	}
+	return s
+}
 
 // Name returns the dataset's display name.
 func (t *Table) Name() string { return t.name }

@@ -49,7 +49,7 @@ func diffSubstrates(tab *dataset.Table, minMax map[string]bool) map[string]*Colu
 	for _, mode := range []struct {
 		name string
 		m    PlanMode
-	}{{"auto", PlanAuto}, {"intersect", PlanIntersect}, {"residual", PlanResidual}, {"zone", PlanZone}} {
+	}{{"auto", PlanAuto}, {"intersect", PlanIntersect}, {"residual", PlanResidual}, {"zone", PlanZone}, {"bitmap", PlanBitmap}} {
 		for _, par := range []int{1, 4} {
 			for _, pool := range []bool{true, false} {
 				opts := []ColumnarOption{
@@ -206,7 +206,7 @@ func TestDifferentialFractionalParallelism(t *testing.T) {
 	}
 	tab := b.Build()
 
-	for _, mode := range []PlanMode{PlanIntersect, PlanResidual, PlanZone} {
+	for _, mode := range []PlanMode{PlanIntersect, PlanResidual, PlanZone, PlanBitmap} {
 		var want string
 		for _, par := range []int{1, 2, 8} {
 			for _, pool := range []bool{true, false} {
@@ -230,6 +230,57 @@ func TestDifferentialFractionalParallelism(t *testing.T) {
 						mode, par, pool, got, want)
 				}
 			}
+		}
+	}
+}
+
+// TestDifferentialPostingsRepresentation pins the two postings
+// representations against each other: for every random subspace, the
+// compressed-bitmap plan (PlanBitmap) and the sorted-slice plan
+// (PlanIntersect) must produce byte-identical units AND identical planned
+// row counts — they compute the same exact intersection, so everything
+// metered off the plan (costs, Stats) is bit-identical between
+// representations. Fractional measures are used deliberately: equal row
+// order means equal float bits, a stronger pin than value equality.
+func TestDifferentialPostingsRepresentation(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	b := dataset.NewBuilder("repr", []model.Field{
+		{Name: "G", Kind: model.KindCategorical},
+		{Name: "H", Kind: model.KindCategorical},
+		{Name: "K", Kind: model.KindCategorical},
+		{Name: "V", Kind: model.KindMeasure},
+	})
+	for i := 0; i < 2000; i++ {
+		b.AddRow([]string{
+			fmt.Sprintf("g%d", r.Intn(9)),
+			fmt.Sprintf("h%d", r.Intn(6)),
+			fmt.Sprintf("k%d", r.Intn(4)),
+		}, []float64{r.NormFloat64() * 1e3})
+	}
+	tab := b.Build()
+	slice := NewColumnarSubstrate(tab, WithPlanMode(PlanIntersect), WithMorselSize(64))
+	bitmap := NewColumnarSubstrate(tab, WithPlanMode(PlanBitmap), WithMorselSize(64))
+	dims := tab.DimensionNames()
+	for trial := 0; trial < 80; trial++ {
+		sub := randomSubspace(r, tab, 1+r.Intn(3))
+		breakdown := dims[r.Intn(len(dims))]
+		if sub.Has(breakdown) {
+			continue
+		}
+		su, srows, err := slice.ScanUnit(sub, breakdown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bu, brows, err := bitmap.ScanUnit(sub, breakdown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if srows != brows {
+			t.Fatalf("trial %d [%s]: slice scanned %d rows, bitmap %d", trial, sub.Key(), srows, brows)
+		}
+		if sj, bj := unitJSON(t, su), unitJSON(t, bu); sj != bj {
+			t.Fatalf("trial %d [%s ⟂ %s]: representations disagree\nslice  %s\nbitmap %s",
+				trial, sub.Key(), breakdown, sj, bj)
 		}
 	}
 }
@@ -268,7 +319,7 @@ func TestDifferentialEdgeCases(t *testing.T) {
 	b.AddRow([]string{"a1", "b1"}, []float64{1})
 	b.AddRow([]string{"a2", "b2"}, []float64{2})
 	tab2 := b.Build()
-	for _, mode := range []PlanMode{PlanIntersect, PlanResidual} {
+	for _, mode := range []PlanMode{PlanIntersect, PlanResidual, PlanBitmap} {
 		c2 := NewColumnarSubstrate(tab2, WithPlanMode(mode))
 		disjoint := model.NewSubspace(
 			model.Filter{Dim: "A", Value: "a1"},

@@ -146,6 +146,7 @@ type Engine struct {
 	sub      Substrate
 	inj      *faults.Injector
 	totalImp float64
+	bnd      impactBounds // lazily built impact-sum summaries (bounds.go)
 
 	// Single-flight groups. Metered and quiet paths use separate groups: a
 	// quiet follower piggybacking on a metered leader (or vice versa) would

@@ -15,11 +15,37 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"metainsight/internal/dataset"
+	"metainsight/internal/model"
 )
 
 type benchBaseline struct {
 	Description string             `json:"description"`
 	Ratios      map[string]float64 `json:"scan_unit_filters0_ratio"`
+	// BitmapRatios blesses the multi-filter (filters=3) ScanUnit cost of the
+	// compressed-bitmap intersect relative to the sorted-slice merge retained
+	// as the differential reference: PlanBitmap ns ÷ PlanIntersect ns, lower
+	// is better. Guards the tentpole claim that multi-filter scans pay for
+	// rows, not candidate lists.
+	BitmapRatios map[string]float64 `json:"scan_unit_filters3_bitmap_ratio"`
+	// PostingsBytes blesses the compressed posting-list footprint in bytes
+	// per row (summed over every dimension). Deterministic — no timing — but
+	// kept under the same gate so all blessed numbers live in one file.
+	PostingsBytes map[string]float64 `json:"postings_bytes_per_row"`
+}
+
+func loadBenchBaseline(t *testing.T) benchBaseline {
+	t.Helper()
+	data, err := os.ReadFile("testdata/bench_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	return base
 }
 
 // guardIters mirrors -benchtime=100x: enough iterations that a single
@@ -28,16 +54,20 @@ type benchBaseline struct {
 const guardIters = 100
 
 func timeScanUnit(t *testing.T, sub Substrate, iters int) time.Duration {
+	return timeScanUnitSub(t, sub, nil, iters)
+}
+
+func timeScanUnitSub(t *testing.T, sub Substrate, s model.Subspace, iters int) time.Duration {
 	t.Helper()
 	// One untimed warm-up scan per substrate: first touch builds dictionaries,
 	// posting lists and zone maps, which are one-off costs the steady-state
 	// ratio must not include.
-	if _, _, err := sub.ScanUnit(nil, "DimA"); err != nil {
+	if _, _, err := sub.ScanUnit(s, "DimA"); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		if _, _, err := sub.ScanUnit(nil, "DimA"); err != nil {
+		if _, _, err := sub.ScanUnit(s, "DimA"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -48,14 +78,7 @@ func TestScanUnitFilters0RegressionGuard(t *testing.T) {
 	if os.Getenv("BENCH_GUARD") == "" {
 		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
 	}
-	data, err := os.ReadFile("testdata/bench_baseline.json")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var base benchBaseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		t.Fatal(err)
-	}
+	base := loadBenchBaseline(t)
 	for _, card := range []string{"small", "large"} {
 		blessed, ok := base.Ratios[card]
 		if !ok || blessed <= 0 {
@@ -74,6 +97,100 @@ func TestScanUnitFilters0RegressionGuard(t *testing.T) {
 		if ratio > limit {
 			t.Errorf("table %s: filters=0 ScanUnit regressed: vec/ref ratio %.3f exceeds blessed %.2f x 1.2 = %.3f",
 				card, ratio, blessed, limit)
+		}
+	}
+}
+
+// intersectGuardIters: multi-filter scans touch few rows, so each iteration
+// is microseconds — more iterations keep the ratio out of timer noise while
+// the guard stays well under a second per table.
+const intersectGuardIters = 2000
+
+// timePlanScan measures the first touch of a subspace — plan (posting-set
+// intersection) plus scan — by taking a fresh substrate per iteration, the
+// mining frontier's access pattern: each distinct subspace is planned exactly
+// once, so the memoized steady state would amortize the intersect kernels to
+// zero. Posting lists and bitmaps stay cached on the shared table columns,
+// so only the per-subspace work is timed.
+func timePlanScan(t *testing.T, tab *dataset.Table, mode PlanMode, s model.Subspace, iters int) time.Duration {
+	t.Helper()
+	// Untimed warm-up builds the column-cached postings of both
+	// representations.
+	if _, _, err := NewColumnarSubstrate(tab, WithPlanMode(mode)).ScanUnit(s, "DimA"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := NewColumnarSubstrate(tab, WithPlanMode(mode)).ScanUnit(s, "DimA"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// TestBitmapIntersectRegressionGuard re-measures the filters=3 plan+scan cost
+// of the compressed-bitmap intersect (PlanBitmap) against the sorted-slice
+// merge (PlanIntersect, the differential reference) and fails when the
+// blessed bitmap/slice ratio regresses by more than 20%. Both paths compute
+// the identical row set on the identical host, so the ratio isolates the
+// intersect kernels.
+func TestBitmapIntersectRegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	base := loadBenchBaseline(t)
+	for _, card := range []string{"small", "large"} {
+		blessed, ok := base.BitmapRatios[card]
+		if !ok || blessed <= 0 {
+			t.Fatalf("baseline has no blessed bitmap-intersect ratio for table %q", card)
+		}
+		tab := benchTable(card)
+		s := benchSubspace(tab, 3)
+		bmNs := timePlanScan(t, tab, PlanBitmap, s, intersectGuardIters)
+		slNs := timePlanScan(t, tab, PlanIntersect, s, intersectGuardIters)
+		if slNs <= 0 {
+			t.Fatalf("table %s: slice intersect measured %v", card, slNs)
+		}
+		ratio := float64(bmNs) / float64(slNs)
+		limit := blessed * 1.2
+		t.Logf("table %s: bitmap %v / slice %v over %d iters -> ratio %.3f (blessed %.2f, limit %.3f)",
+			card, bmNs, slNs, intersectGuardIters, ratio, blessed, limit)
+		if ratio > limit {
+			t.Errorf("table %s: filters=3 bitmap intersect regressed: bitmap/slice ratio %.3f exceeds blessed %.2f x 1.2 = %.3f",
+				card, ratio, blessed, limit)
+		}
+	}
+}
+
+// TestPostingsMemoryRegressionGuard pins the compressed posting-list
+// footprint: bytes per row summed across every dimension's bitmaps must not
+// grow past the blessed value by more than 20%. The footprint is a
+// deterministic function of the generated tables, so any drift is a real
+// container-sizing change, not noise.
+func TestPostingsMemoryRegressionGuard(t *testing.T) {
+	if os.Getenv("BENCH_GUARD") == "" {
+		t.Skip("set BENCH_GUARD=1 to run the bench-regression guard")
+	}
+	base := loadBenchBaseline(t)
+	for _, card := range []string{"small", "large"} {
+		blessed, ok := base.PostingsBytes[card]
+		if !ok || blessed <= 0 {
+			t.Fatalf("baseline has no blessed postings bytes-per-row for table %q", card)
+		}
+		tab := benchTable(card)
+		st := tab.PostingsStats()
+		perRow := float64(st.CompressedBytes) / float64(tab.Rows())
+		limit := blessed * 1.2
+		slice := 4.0 * float64(len(tab.Dimensions()))
+		t.Logf("table %s: %d B compressed over %d rows -> %.3f B/row (blessed %.2f, limit %.3f, slice %.0f B/row)",
+			card, st.CompressedBytes, tab.Rows(), perRow, blessed, limit, slice)
+		if perRow > limit {
+			t.Errorf("table %s: postings footprint regressed: %.3f B/row exceeds blessed %.2f x 1.2 = %.3f",
+				card, perRow, blessed, limit)
+		}
+		if perRow >= slice {
+			t.Errorf("table %s: compressed postings (%.3f B/row) are no smaller than the sorted-slice footprint (%.0f B/row)",
+				card, perRow, slice)
 		}
 	}
 }

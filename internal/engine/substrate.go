@@ -78,6 +78,13 @@ const (
 	// when the surviving blocks hold no more rows than the most selective
 	// posting list; forcing it exists for tests and benches.
 	PlanZone
+	// PlanBitmap always intersects the compressed bitmap posting sets
+	// (dataset.Bitmap) directly in container form and drives the materialized
+	// row list. It computes the exact same row set as PlanIntersect — the
+	// sorted-slice path is the retained differential reference — so units,
+	// metered rows and Stats are bit-identical between the two
+	// representations.
+	PlanBitmap
 )
 
 // DefaultMorselSize is the fixed morsel width of the parallel scan pipeline,
@@ -109,6 +116,14 @@ type ColumnarSubstrate struct {
 
 	planMu sync.RWMutex
 	plans  map[string]*scanPlan
+
+	// Postings telemetry: which dimensions' compressed posting sets this
+	// substrate has planned against, and their cumulative footprint (feeds
+	// the engine.physical.postings_* instruments).
+	bmMu    sync.Mutex
+	bmSeen  map[string]bool
+	bmBytes int64
+	bmRows  int64
 
 	pool sync.Pool // *scanAcc
 }
@@ -284,35 +299,45 @@ func (c *ColumnarSubstrate) planFor(s model.Subspace) *scanPlan {
 // buildPlan chooses the physical strategy for a subspace:
 //
 //   - no filters: full-table scan;
-//   - one filter: drive its posting list;
-//   - several filters: intersect all posting lists (galloping/linear merge,
-//     see dataset.Intersect) and drive the exact matching row set, drive the
-//     most selective list and verify the rest per row, or — when the zone
-//     maps prune the table below the most selective posting list — scan the
-//     surviving zone blocks sequentially, verifying every filter per row.
+//   - one filter: drive its posting set;
+//   - several filters: intersect all posting sets and drive the exact
+//     matching row list — directly on the compressed bitmap containers
+//     (PlanAuto, PlanBitmap) or through the sorted-slice merge retained as
+//     the differential reference (PlanIntersect) — drive the most selective
+//     set and verify the rest per row, or — when the zone maps prune the
+//     table below the most selective posting set — scan the surviving zone
+//     blocks sequentially, verifying every filter per row.
 //
-// The choice compares the merge cost estimate (dataset.IntersectCost)
-// against what residual verification would spend — one weighted check per
-// driven row per residual filter, plus the kernel work on the rows the
-// intersection would have pruned (expected under the independence
-// assumption) — and against the analogous cost of the zone scan. The zone
-// strategy is only eligible when its surviving blocks hold no more rows
-// than the most selective posting list, so the metered row count (and
-// PlannedRows) never exceeds what the legacy drive would have charged.
-// Everything is a pure function of posting-list lengths and the immutable
-// zone maps, so the plan — and the metered row count that follows from it —
-// is deterministic.
+// PlanAuto's choice compares the container-aware intersect estimate
+// (dataset.BitmapAndCost, a pure function of container composition) against
+// what residual verification would spend — one weighted check per driven row
+// per residual filter, plus the kernel work on the rows the intersection
+// would have pruned (expected under the independence assumption) — and
+// against the analogous cost of the zone scan. The zone strategy is only
+// eligible when its surviving blocks hold no more rows than the most
+// selective posting set, so the metered row count (and PlannedRows) never
+// exceeds what the legacy drive would have charged. Everything is a pure
+// function of container composition, cardinalities and the immutable zone
+// maps, so the plan — and the metered row count that follows from it — is
+// deterministic. Bitmap-planned substrates never materialize sorted-slice
+// posting lists: even a residual plan's drive list is emitted from the
+// compressed set, which is where the index memory reduction comes from.
 func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 	filters := resolveFilters(c.tab, s)
 	if len(filters) == 0 {
 		return &scanPlan{full: true, rows: c.tab.Rows()}
 	}
-	lists := make([][]int32, len(filters))
+	if c.mode == PlanIntersect || c.mode == PlanResidual {
+		return c.buildSlicePlan(filters)
+	}
+
+	bms := make([]*dataset.Bitmap, len(filters))
 	lens := make([]int, len(filters))
 	best := 0
 	for i, f := range filters {
-		lists[i] = f.col.Postings(int(f.code))
-		lens[i] = len(lists[i])
+		bms[i] = f.col.PostingsBitmap(int(f.code))
+		c.notePostings(f.col)
+		lens[i] = bms[i].Cardinality()
 		if lens[i] < lens[best] {
 			best = i
 		}
@@ -326,11 +351,13 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 		return c.buildZonePlan(filters)
 	}
 	if len(filters) == 1 {
-		return &scanPlan{drive: lists[0], rows: lens[0]}
+		// Materializing from the compressed set yields a fresh list, so no
+		// plan ever aliases an index-owned slice.
+		return &scanPlan{drive: bms[0].ToArray(nil), rows: lens[0]}
 	}
 
 	nRest := len(filters) - 1
-	intersect := c.mode == PlanIntersect
+	intersect := c.mode == PlanBitmap
 	if c.mode == PlanAuto {
 		expected := float64(c.tab.Rows())
 		for _, l := range lens {
@@ -338,7 +365,7 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 		}
 		residualCost := float64(lens[best])*residualCheckWeight*float64(nRest) +
 			(float64(lens[best])-expected)*kernelRowWeight
-		intersectCost := dataset.IntersectCost(lens...)
+		intersectCost := dataset.BitmapAndCost(bms...)
 		if blocks, zrows := c.zoneBlocks(filters); zrows <= lens[best] {
 			zoneCost := float64(zrows)*zoneCheckWeight*float64(len(filters)) +
 				(float64(zrows)-expected)*kernelRowWeight
@@ -349,8 +376,8 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 		intersect = intersectCost < residualCost
 	}
 	if intersect {
-		drive := dataset.Intersect(lists...)
-		c.obs.Count("engine.physical.plan_intersect", 1)
+		drive := dataset.AndAll(bms...).ToArray(nil)
+		c.obs.Count("engine.physical.plan_bitmap", 1)
 		c.obs.Count("engine.physical.rows_pruned", int64(lens[best]-len(drive)))
 		return &scanPlan{drive: drive, rows: len(drive), intersected: true}
 	}
@@ -361,7 +388,78 @@ func (c *ColumnarSubstrate) buildPlan(s model.Subspace) *scanPlan {
 		}
 	}
 	c.obs.Count("engine.physical.plan_residual", 1)
+	return &scanPlan{drive: bms[best].ToArray(nil), rest: rest, rows: lens[best]}
+}
+
+// buildSlicePlan is the sorted-slice posting-list strategy retained as the
+// differential reference: PlanIntersect merges the per-filter lists with
+// dataset.Intersect, PlanResidual drives the most selective list and
+// verifies the rest per row. It computes exactly the row sets the bitmap
+// path computes, which is what the representation-differential tests pin.
+func (c *ColumnarSubstrate) buildSlicePlan(filters []filterSpec) *scanPlan {
+	lists := make([][]int32, len(filters))
+	lens := make([]int, len(filters))
+	best := 0
+	for i, f := range filters {
+		lists[i] = f.col.Postings(int(f.code))
+		lens[i] = len(lists[i])
+		if lens[i] < lens[best] {
+			best = i
+		}
+	}
+	if lens[best] == 0 {
+		return &scanPlan{drive: []int32{}}
+	}
+	if len(filters) == 1 {
+		return &scanPlan{drive: lists[0], rows: lens[0]}
+	}
+	if c.mode == PlanIntersect {
+		drive := dataset.Intersect(lists...)
+		c.obs.Count("engine.physical.plan_intersect", 1)
+		c.obs.Count("engine.physical.rows_pruned", int64(lens[best]-len(drive)))
+		return &scanPlan{drive: drive, rows: len(drive), intersected: true}
+	}
+	rest := make([]residualFilter, 0, len(filters)-1)
+	for i, f := range filters {
+		if i != best {
+			rest = append(rest, residualFilter{codes: f.col.Codes(), code: f.code})
+		}
+	}
+	c.obs.Count("engine.physical.plan_residual", 1)
 	return &scanPlan{drive: lists[best], rest: rest, rows: lens[best]}
+}
+
+// notePostings feeds the postings storage instruments the first time this
+// substrate plans against a dimension's compressed posting sets:
+// engine.physical.postings_bytes / postings_rows / postings_containers_*
+// counters plus the postings_compression_ratio gauge (4-byte-per-row slice
+// footprint ÷ compressed bytes across every dimension seen so far). Inert
+// without an observer, like all observability.
+func (c *ColumnarSubstrate) notePostings(col *dataset.DimColumn) {
+	if c.obs == nil {
+		return
+	}
+	c.bmMu.Lock()
+	defer c.bmMu.Unlock()
+	if c.bmSeen[col.Name] {
+		return
+	}
+	if c.bmSeen == nil {
+		c.bmSeen = make(map[string]bool)
+	}
+	c.bmSeen[col.Name] = true
+	st := col.BitmapPostingsStats()
+	c.obs.Count("engine.physical.postings_bytes", st.CompressedBytes)
+	c.obs.Count("engine.physical.postings_rows", st.Cardinality)
+	c.obs.Count("engine.physical.postings_containers_array", int64(st.ArrayContainers))
+	c.obs.Count("engine.physical.postings_containers_run", int64(st.RunContainers))
+	c.obs.Count("engine.physical.postings_containers_bitmap", int64(st.BitmapContainers))
+	c.bmBytes += st.CompressedBytes
+	c.bmRows += st.Cardinality
+	if c.bmBytes > 0 {
+		c.obs.SetGauge("engine.physical.postings_compression_ratio",
+			float64(4*c.bmRows)/float64(c.bmBytes))
+	}
 }
 
 // zoneBlocks computes the zone-surviving blocks for a filter set: the

@@ -10,27 +10,39 @@ import (
 	"testing"
 
 	"metainsight"
+	"metainsight/internal/cache"
 	"metainsight/internal/dataset"
 	"metainsight/internal/engine"
 	"metainsight/internal/faults"
+	"metainsight/internal/miner"
 	"metainsight/internal/model"
+	"metainsight/internal/pattern"
 	"metainsight/internal/shard"
 	"metainsight/internal/workload"
 )
 
 // BenchResult is one measured scenario of the physical-layer bench harness.
 type BenchResult struct {
-	Name        string  `json:"name"`
-	Table       string  `json:"table"`
-	Filters     int     `json:"filters"`
-	Substrate   string  `json:"substrate"` // "vec", "ref" or "shard"
-	Parallelism int     `json:"parallelism"`
-	Shards      int     `json:"shards,omitempty"`
+	Name        string `json:"name"`
+	Table       string `json:"table"`
+	Filters     int    `json:"filters"`
+	Substrate   string `json:"substrate"` // "vec", "ref" or "shard"
+	Parallelism int    `json:"parallelism"`
+	Shards      int    `json:"shards,omitempty"`
+	// Postings names the posting-list representation of a multi-filter scan
+	// arm: "slice" forces the sorted-slice intersect path (the differential
+	// reference), "bitmap" the compressed-container AND kernels. Empty for
+	// arms where the distinction does not apply (full scans, ref, mine).
+	Postings    string  `json:"postings,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	RowsScanned int     `json:"rows_scanned"` // simulated metered rows per op
 	RowsPerSec  float64 `json:"rows_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// BoundSkips carries Stats.BoundSkips + Stats.BoundScanSkips of the last
+	// run of a mine arm: frontier work the impact-sum bounds cut without
+	// issuing a query.
+	BoundSkips int64 `json:"bound_skips,omitempty"`
 }
 
 // BenchStraggler is one row of the straggler-mitigation arm: simulated scan
@@ -43,6 +55,23 @@ type BenchStraggler struct {
 	Shards   int     `json:"shards"`
 	P50Cost  float64 `json:"p50_cost"`
 	P99Cost  float64 `json:"p99_cost"`
+}
+
+// BenchPostings is one postings-memory row: the size of a table's compressed
+// bitmap posting-list substrate against the uncompressed sorted-slice
+// footprint it replaced (4 bytes per row per dimension). The numbers are
+// deterministic functions of the data, not measurements.
+type BenchPostings struct {
+	Table             string  `json:"table"`
+	Rows              int     `json:"rows"`
+	Dimensions        int     `json:"dimensions"`
+	CompressedBytes   int64   `json:"compressed_bytes"`
+	UncompressedBytes int64   `json:"uncompressed_bytes"`
+	BytesPerRow       float64 `json:"bytes_per_row"`
+	CompressionRatio  float64 `json:"compression_ratio"`
+	ArrayContainers   int     `json:"array_containers"`
+	RunContainers     int     `json:"run_containers"`
+	BitmapContainers  int     `json:"bitmap_containers"`
 }
 
 // BenchSpeedup compares a vectorized scenario against its reference baseline.
@@ -63,11 +92,12 @@ type BenchHeadline struct {
 	Speedup         float64 `json:"speedup,omitempty"`
 }
 
-// BenchReport is the BENCH_7.json document.
+// BenchReport is the BENCH_10.json document.
 type BenchReport struct {
 	Description string           `json:"description"`
 	Headline    []BenchHeadline  `json:"headline"`
 	Results     []BenchResult    `json:"results"`
+	Postings    []BenchPostings  `json:"postings"`
 	Speedups    []BenchSpeedup   `json:"speedups"`
 	Straggler   []BenchStraggler `json:"straggler,omitempty"`
 }
@@ -79,17 +109,27 @@ type benchSpec struct {
 	filters int
 	sub     string // "vec" or "ref"
 	par     int
+	post    string  // multi-filter unit arms: "slice" or "bitmap"
 	budget  float64 // mine scenarios: cost budget of the run
+	tight   bool    // mine scenarios: raised impact thresholds so bound cuts fire
 }
 
 func (s benchSpec) name() string {
 	if s.kind == "mine" {
-		return fmt.Sprintf("mine/budget=%g/par=%d", s.budget, s.par)
+		n := fmt.Sprintf("mine/budget=%g/par=%d", s.budget, s.par)
+		if s.tight {
+			n += "/bounds=tight"
+		}
+		return n
 	}
 	if s.sub == "ref" {
 		return fmt.Sprintf("%s/table=%s/filters=%d/sub=ref", s.kind, s.table, s.filters)
 	}
-	return fmt.Sprintf("%s/table=%s/filters=%d/sub=vec/par=%d", s.kind, s.table, s.filters, s.par)
+	n := fmt.Sprintf("%s/table=%s/filters=%d/sub=vec/par=%d", s.kind, s.table, s.filters, s.par)
+	if s.post != "" {
+		n += "/post=" + s.post
+	}
+	return n
 }
 
 // benchGen builds the two synthetic bench datasets, mirroring the in-package
@@ -115,20 +155,27 @@ func benchFilters(tab *dataset.Table, n int) model.Subspace {
 }
 
 // Bench runs the reproducible physical-layer bench harness and writes the
-// BENCH_7.json report to outPath: unit and augmented scans across filter
+// BENCH_10.json report to outPath: unit and augmented scans across filter
 // depth, table size and parallelism for the vectorized substrate and the
 // naive reference baseline, plus an end-to-end mining curve across cost
 // budgets, each reporting ns/op, simulated rows scanned, rows/sec and
-// allocations. The headline section carries the filters=0 full-scan speedups
-// (the flat-code group-by kernel against the naive reference), the mine
-// curve, the shard-scaling curve (full scans across shards 1/2/4/8) and the
-// straggler-mitigation headline (p99 completion cost with speculative
-// re-issue ÷ without); the speedup section divides each reference ns/op by
-// its vectorized counterparts. Reference rows report parallelism 1 — the
-// naive scan is single-threaded — so every row satisfies parallelism >= 1.
+// allocations. Multi-filter unit arms run twice — post=bitmap (compressed
+// container AND kernels) and post=slice (the sorted-slice intersect retained
+// as the differential reference) — to measure the bitmap-postings curve; the
+// postings section reports each table's compressed index footprint against
+// the 4-bytes-per-row sorted-slice baseline. The headline section carries
+// the filters=0 full-scan speedups (the flat-code group-by kernel against
+// the naive reference), the bitmap-vs-slice multi-filter headline, the mine
+// curve (with impact-bound skip counts), the shard-scaling curve (full scans
+// across shards 1/2/4/8) and the straggler-mitigation headline (p99
+// completion cost with speculative re-issue ÷ without); the speedup section
+// divides each reference ns/op by its vectorized counterparts and each
+// post=slice ns/op by its post=bitmap twin. Reference rows report
+// parallelism 1 — the naive scan is single-threaded — so every row
+// satisfies parallelism >= 1.
 func Bench(w io.Writer, outPath string) error {
 	rep := BenchReport{
-		Description: "Physical scan-layer benchmarks: vectorized morsel-parallel substrate (vec, flat-code group-by + zone maps) vs retained naive reference (ref), plus the sharded substrate (shard, row-range shards with block-granular deterministic merge). rows_scanned is the simulated metered row count of the plan; speedup = ref ns/op ÷ vec ns/op; headline carries the filters=0 full scans, the end-to-end mine curve, the shard-scaling curve and the straggler arm; straggler rows are deterministic simulated completion-cost percentiles, not wall clock.",
+		Description: "Physical scan-layer benchmarks: vectorized morsel-parallel substrate (vec, flat-code group-by + zone maps + compressed bitmap postings) vs retained naive reference (ref), plus the sharded substrate (shard, row-range shards with block-granular deterministic merge). Multi-filter unit arms run with post=bitmap (container AND kernels) and post=slice (sorted-slice intersect, the differential reference); the postings section reports compressed index bytes against the 4 B/row sorted-slice footprint; mine rows carry bound_skips, the frontier work the impact-sum bounds cut without issuing a query. rows_scanned is the simulated metered row count of the plan; speedup = baseline ns/op ÷ scenario ns/op; straggler rows are deterministic simulated completion-cost percentiles, not wall clock.",
 	}
 
 	var specs []benchSpec
@@ -138,6 +185,13 @@ func Bench(w io.Writer, outPath string) error {
 				sub string
 				par int
 			}{{"vec", 1}, {"vec", 4}, {"ref", 1}} {
+				if cfg.sub == "vec" && nf > 0 {
+					// Multi-filter scans split by postings representation.
+					for _, post := range []string{"bitmap", "slice"} {
+						specs = append(specs, benchSpec{kind: "unit", table: table, filters: nf, sub: cfg.sub, par: cfg.par, post: post})
+					}
+					continue
+				}
 				specs = append(specs, benchSpec{kind: "unit", table: table, filters: nf, sub: cfg.sub, par: cfg.par})
 			}
 		}
@@ -154,6 +208,7 @@ func Bench(w io.Writer, outPath string) error {
 		specs = append(specs, benchSpec{kind: "mine", par: 1, budget: budget})
 	}
 	specs = append(specs, benchSpec{kind: "mine", par: 4, budget: 400})
+	specs = append(specs, benchSpec{kind: "mine", par: 1, budget: 400, tight: true})
 
 	tables := map[string]*dataset.Table{"small": benchGen("small"), "large": benchGen("large")}
 	refNs := map[string]float64{} // kind/table/filters -> reference ns/op
@@ -161,9 +216,46 @@ func Bench(w io.Writer, outPath string) error {
 	for _, spec := range specs {
 		var fn func(b *testing.B)
 		rowsScanned := 0
+		var boundSkips int64
 		switch spec.kind {
 		case "mine":
-			par, budget := spec.par, spec.budget
+			par, budget, tight := spec.par, spec.budget, spec.tight
+			if tight {
+				// CreditCard is balanced, so with the default thresholds no
+				// (dimension, value) share dips below the impact thresholds
+				// and the bound cuts correctly never fire. This arm raises
+				// them above the per-month impact share (~1/12) via the miner
+				// directly — the Session API deliberately does not expose
+				// them — so the report carries a mine row where bound_skips
+				// is exercised (every Month expansion scan is provably
+				// fruitless and skipped unqueried).
+				fn = func(b *testing.B) {
+					tab := workload.CreditCard()
+					for i := 0; i < b.N; i++ {
+						meter := &engine.Meter{}
+						eng, err := engine.New(tab, engine.Config{
+							Meter:           meter,
+							QueryCache:      cache.NewQueryCache(true),
+							ScanParallelism: par,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						cfg := miner.DefaultConfig()
+						cfg.Workers = 1
+						cfg.MinImpact = 0.1
+						cfg.MinSubspaceImpact = 0.1
+						cfg.PatternCache = cache.NewPatternCache[*pattern.ScopeEvaluation](true)
+						cfg.Budget = miner.CostBudget{Meter: meter, Limit: budget}
+						res := miner.New(eng, cfg).Run()
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+						boundSkips = res.Stats.BoundSkips + res.Stats.BoundScanSkips
+					}
+				}
+				break
+			}
 			fn = func(b *testing.B) {
 				tab := workload.CreditCard()
 				sess, err := metainsight.NewSession(tab,
@@ -174,18 +266,27 @@ func Bench(w io.Writer, outPath string) error {
 				req := metainsight.Request{Budget: metainsight.Budget{Cost: budget}}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := sess.Analyze(context.Background(), req); err != nil {
+					an, err := sess.Analyze(context.Background(), req)
+					if err != nil {
 						b.Fatal(err)
 					}
+					boundSkips = an.Result.Stats.BoundSkips + an.Result.Stats.BoundScanSkips
 				}
 			}
 		default:
 			tab := tables[spec.table]
-			var sub engine.Substrate
-			if spec.sub == "ref" {
-				sub = engine.NewReferenceSubstrate(tab, nil)
-			} else {
-				sub = engine.NewColumnarSubstrate(tab, engine.WithScanParallelism(spec.par))
+			makeSub := func() engine.Substrate {
+				if spec.sub == "ref" {
+					return engine.NewReferenceSubstrate(tab, nil)
+				}
+				opts := []engine.ColumnarOption{engine.WithScanParallelism(spec.par)}
+				switch spec.post {
+				case "slice":
+					opts = append(opts, engine.WithPlanMode(engine.PlanIntersect))
+				case "bitmap":
+					opts = append(opts, engine.WithPlanMode(engine.PlanBitmap))
+				}
+				return engine.NewColumnarSubstrate(tab, opts...)
 			}
 			var s model.Subspace
 			if spec.kind == "aug" {
@@ -196,6 +297,27 @@ func Bench(w io.Writer, outPath string) error {
 				s = benchFilters(tab, spec.filters)
 			}
 			augmented := spec.kind == "aug"
+			if spec.post != "" {
+				// Postings arms measure the first touch of a subspace — plan
+				// (posting-set intersection) plus scan — by taking a fresh
+				// substrate per op. The mining frontier plans each distinct
+				// subspace exactly once, so the memoized steady state the other
+				// arms measure would amortize the intersect kernels to zero;
+				// posting lists and bitmaps stay cached on the shared table
+				// columns, so only the per-subspace work is timed.
+				fn = func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						sub := makeSub()
+						_, r, err := sub.ScanUnit(s, "DimA")
+						if err != nil {
+							b.Fatal(err)
+						}
+						rowsScanned = r
+					}
+				}
+				break
+			}
+			sub := makeSub()
 			fn = func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					var r int
@@ -221,6 +343,7 @@ func Bench(w io.Writer, outPath string) error {
 			Filters:     spec.filters,
 			Substrate:   spec.sub,
 			Parallelism: spec.par,
+			Postings:    spec.post,
 			NsPerOp:     nsPerOp,
 			RowsScanned: rowsScanned,
 			AllocsPerOp: res.AllocsPerOp(),
@@ -232,6 +355,7 @@ func Bench(w io.Writer, outPath string) error {
 		if spec.kind == "mine" {
 			br.Table = "creditcard"
 			br.Substrate = "vec"
+			br.BoundSkips = boundSkips
 		}
 		rep.Results = append(rep.Results, br)
 		key := fmt.Sprintf("%s/%s/%d", spec.kind, spec.table, spec.filters)
@@ -264,11 +388,42 @@ func Bench(w io.Writer, outPath string) error {
 	}
 
 	// Headline: the filters=0 full scans (where the flat-code kernel lives —
-	// no posting list or zone map can narrow an unfiltered scan) and the
-	// end-to-end mining curve.
+	// no posting list or zone map can narrow an unfiltered scan), the
+	// bitmap-vs-slice multi-filter comparison, and the end-to-end mining
+	// curve.
 	byName := map[string]BenchResult{}
 	for _, r := range rep.Results {
 		byName[r.Name] = r
+	}
+
+	// Bitmap vs sorted-slice intersect: the same multi-filter scan through
+	// the two postings representations; speedup = slice ns/op ÷ bitmap ns/op.
+	for _, table := range []string{"small", "large"} {
+		for _, nf := range []int{2, 3} {
+			for _, par := range []int{1, 4} {
+				bmName := fmt.Sprintf("unit/table=%s/filters=%d/sub=vec/par=%d/post=bitmap", table, nf, par)
+				slName := fmt.Sprintf("unit/table=%s/filters=%d/sub=vec/par=%d/post=slice", table, nf, par)
+				bm, okB := byName[bmName]
+				sl, okS := byName[slName]
+				if !okB || !okS || bm.NsPerOp == 0 {
+					continue
+				}
+				rep.Speedups = append(rep.Speedups, BenchSpeedup{
+					Scenario: bmName,
+					Baseline: slName,
+					Speedup:  sl.NsPerOp / bm.NsPerOp,
+				})
+				if par == 1 && ((table == "large" && nf == 2) || (table == "small" && nf == 3)) {
+					rep.Headline = append(rep.Headline, BenchHeadline{
+						Scenario:        bmName,
+						NsPerOp:         bm.NsPerOp,
+						Baseline:        slName,
+						BaselineNsPerOp: sl.NsPerOp,
+						Speedup:         sl.NsPerOp / bm.NsPerOp,
+					})
+				}
+			}
+		}
 	}
 	for _, table := range []string{"small", "large"} {
 		scen := fmt.Sprintf("unit/table=%s/filters=0/sub=vec/par=1", table)
@@ -292,6 +447,33 @@ func Bench(w io.Writer, outPath string) error {
 		}
 	}
 
+	// Postings-memory rows: deterministic footprints of the compressed
+	// bitmap posting lists, per table, against the sorted-slice baseline.
+	postTables := map[string]*dataset.Table{
+		"small": tables["small"], "large": tables["large"], "creditcard": workload.CreditCard(),
+	}
+	for _, name := range []string{"small", "large", "creditcard"} {
+		tab := postTables[name]
+		st := tab.PostingsStats()
+		row := BenchPostings{
+			Table:             name,
+			Rows:              tab.Rows(),
+			Dimensions:        len(tab.Dimensions()),
+			CompressedBytes:   st.CompressedBytes,
+			UncompressedBytes: st.UncompressedBytes(),
+			CompressionRatio:  st.CompressionRatio(),
+			ArrayContainers:   st.ArrayContainers,
+			RunContainers:     st.RunContainers,
+			BitmapContainers:  st.BitmapContainers,
+		}
+		if tab.Rows() > 0 {
+			row.BytesPerRow = float64(st.CompressedBytes) / float64(tab.Rows())
+		}
+		rep.Postings = append(rep.Postings, row)
+		fmt.Fprintf(w, "postings/table=%-22s %10d B compressed %10d B slice  %6.2fx  %.2f B/row\n",
+			name, row.CompressedBytes, row.UncompressedBytes, row.CompressionRatio, row.BytesPerRow)
+	}
+
 	if err := benchShards(w, &rep, tables["large"]); err != nil {
 		return err
 	}
@@ -303,8 +485,8 @@ func Bench(w io.Writer, outPath string) error {
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "wrote %s (%d scenarios, %d speedups, %d straggler rows)\n",
-		outPath, len(rep.Results), len(rep.Speedups), len(rep.Straggler))
+	fmt.Fprintf(w, "wrote %s (%d scenarios, %d speedups, %d postings rows, %d straggler rows)\n",
+		outPath, len(rep.Results), len(rep.Speedups), len(rep.Postings), len(rep.Straggler))
 	return nil
 }
 

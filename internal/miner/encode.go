@@ -274,6 +274,11 @@ type recordJSON struct {
 	Results     int    `json:"results"`
 	FailedUnits int64  `json:"failed_units"`
 	Evictions   int64  `json:"evictions"`
+	// BoundSkips/BoundScanSkips carry the cumulative bound-pruning counters,
+	// so a resume replay also verifies the restored run makes the exact cut
+	// decisions the original made.
+	BoundSkips     int64 `json:"bound_skips"`
+	BoundScanSkips int64 `json:"bound_scan_skips"`
 }
 
 // encodeSnapshotPayload captures the complete dispatcher-owned state:
@@ -355,16 +360,18 @@ func (m *Miner) restoreSnapshotPayload(payload []byte, patternQ, miQ workQueue) 
 // encodeRecord captures the post-commit invariants of one committed unit.
 func (m *Miner) encodeRecord(c *completion) recordJSON {
 	return recordJSON{
-		Kind:        c.unit.kind.String(),
-		Unit:        describeUnit(c.unit),
-		Seq:         c.unit.seq,
-		Produced:    len(c.produced),
-		Panicked:    c.panicked,
-		Cut:         c.cut,
-		CostNanos:   m.acct.meter.CostNanos(),
-		Results:     len(m.results),
-		FailedUnits: m.acct.failedUnits,
-		Evictions:   m.acct.evictions,
+		Kind:           c.unit.kind.String(),
+		Unit:           describeUnit(c.unit),
+		Seq:            c.unit.seq,
+		Produced:       len(c.produced),
+		Panicked:       c.panicked,
+		Cut:            c.cut,
+		CostNanos:      m.acct.meter.CostNanos(),
+		Results:        len(m.results),
+		FailedUnits:    m.acct.failedUnits,
+		Evictions:      m.acct.evictions,
+		BoundSkips:     m.stats.BoundSkips,
+		BoundScanSkips: m.stats.BoundScanSkips,
 	}
 }
 
@@ -403,11 +410,11 @@ func (m *Miner) fingerprint() string {
 	for _, c := range p.Custom {
 		w("custom", c.Name, strconv.FormatBool(c.TemporalOnly))
 	}
-	w("miner", fmt.Sprintf("%d %d %g %g %t %t %t %g %t %d",
+	w("miner", fmt.Sprintf("%d %d %g %g %t %t %t %t %g %t %d",
 		m.cfg.MaxSubspaceFilters, m.cfg.MaxBreakdownCardinality, m.cfg.MinImpact,
 		m.cfg.MinSubspaceImpact, m.cfg.UsePriorityQueues, m.cfg.EnablePruning1,
-		m.cfg.EnablePruning2, m.cfg.DegradedThreshold, m.cfg.PatternsFirst,
-		m.cfg.TopK))
+		m.cfg.EnablePruning2, m.cfg.EnableBoundPruning, m.cfg.DegradedThreshold,
+		m.cfg.PatternsFirst, m.cfg.TopK))
 	qc := m.eng.QueryCache()
 	w("qcache", fmt.Sprintf("%t %d", qc.Enabled(), qc.MaxBytes()))
 	w("pcache", fmt.Sprintf("%t %d", m.pcache.Enabled(), m.pcache.MaxBytes()))

@@ -89,6 +89,21 @@ type Config struct {
 	EnablePruning1 bool
 	// EnablePruning2 enables discarding low-impact MetaInsight units.
 	EnablePruning2 bool
+	// EnableBoundPruning cuts frontier work using the engine's precomputed
+	// impact-sum bounds (engine.ImpactShareUpperBound / DimMaxImpactShare)
+	// before any query is issued: a subspace-extension whose root-subspace
+	// impact bound cannot reach MinImpact is never emitted (the Pruning 2
+	// check would discard it after the scan anyway), and an expansion
+	// dimension whose heaviest value cannot reach MinSubspaceImpact is never
+	// scanned (every child it could produce would be filtered). Both bounds
+	// are sound upper bounds on the true impact, so the mined MetaInsights
+	// are identical with the flag on or off — only the query/cost accounting
+	// differs (fewer scans, counted in Stats.BoundSkips/BoundScanSkips). The
+	// cut decisions are pure functions of the immutable table and the
+	// configuration, so they are worker-count-invariant and resume-safe.
+	// When the bounds are unsound (SUM impact over a column with negative
+	// values) they return the trivial bound and the cuts never fire.
+	EnableBoundPruning bool
 	// Budget bounds the run; nil means Unlimited. The budget is checked
 	// before each unit commit, so a run stops on a whole-unit boundary.
 	Budget Budget
@@ -164,6 +179,7 @@ func DefaultConfig() Config {
 		UsePriorityQueues:       true,
 		EnablePruning1:          true,
 		EnablePruning2:          true,
+		EnableBoundPruning:      true,
 		Budget:                  Unlimited{},
 		DegradedThreshold:       0.1,
 	}
@@ -189,7 +205,16 @@ type Stats struct {
 	// termination (Config.TopK): their score upper bound could not beat the
 	// K-th best committed score, so they were dropped without evaluation —
 	// no queries, no budget, no MetaInsightUnits increment.
-	SStarCut         int64
+	SStarCut int64
+	// BoundSkips counts subspace-extension candidates cut by the impact-sum
+	// bounds (Config.EnableBoundPruning) before their root-impact query was
+	// issued; BoundScanSkips counts frontier expansion scans skipped because
+	// the dimension's heaviest value could not reach MinSubspaceImpact. Both
+	// cuts are result-identical to scan-then-prune, so these counters trade
+	// one-for-one against queries, Pruned2 discards and empty child lists —
+	// never against mined MetaInsights.
+	BoundSkips       int64
+	BoundScanSkips   int64
 	PrefetchFailures int64 // augmented prefetches that fell back to basic queries
 	// FailedUnits counts queries that permanently failed (injected permanent
 	// faults, exhausted retries, deadline overruns, or real substrate
@@ -714,6 +739,8 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 	m.stats.MetaInsightUnits += c.delta.metaInsightUnits
 	m.stats.PatternsFound += c.delta.patternsFound
 	m.stats.Pruned1 += c.delta.pruned1
+	m.stats.BoundSkips += c.delta.boundSkips
+	m.stats.BoundScanSkips += c.delta.boundScanSkips
 	m.stats.ShortSeriesSkips += c.delta.shortSeriesSkips
 	m.stats.ExtractErrors += c.delta.extractErrors
 	if o != nil {
@@ -722,6 +749,8 @@ func (m *Miner) commit(c *completion, miQ, patternQ workQueue) {
 		o.Count("miner.units.metainsight", c.delta.metaInsightUnits)
 		o.Count("miner.patterns.found", c.delta.patternsFound)
 		o.Count("miner.pruned1", c.delta.pruned1)
+		o.Count("miner.bound_skips", c.delta.boundSkips)
+		o.Count("miner.bound_scan_skips", c.delta.boundScanSkips)
 		if traced && c.delta.pruned1 > 0 {
 			o.Event(obs.EvPrune, describeUnit(c.unit), "pruning1", 0)
 		}
@@ -931,7 +960,7 @@ func (m *Miner) process(u *workUnit) *completion {
 	switch u.kind {
 	case kindExpand:
 		c.delta.expandUnits++
-		c.produced = m.processExpand(u, rec)
+		c.produced = m.processExpand(u, rec, &c.delta)
 	case kindDataPattern:
 		c.delta.dataPatternUnits++
 		c.produced = m.processDataPattern(u, rec, &c.delta)
@@ -950,7 +979,7 @@ func (m *Miner) process(u *workUnit) *completion {
 // impacts (computed from one group-by unit per expandable dimension — the
 // same units the data-pattern module will need, so the scans are shared
 // through the query cache).
-func (m *Miner) processExpand(u *workUnit, rec *recorder) []*workUnit {
+func (m *Miner) processExpand(u *workUnit, rec *recorder, delta *statDelta) []*workUnit {
 	tab := m.eng.Table()
 	var produced []*workUnit
 
@@ -987,6 +1016,14 @@ func (m *Miner) processExpand(u *workUnit, rec *recorder) []*workUnit {
 			continue
 		}
 		if m.cfg.MaxBreakdownCardinality > 0 && dim.Cardinality() > m.cfg.MaxBreakdownCardinality {
+			continue
+		}
+		if m.cfg.EnableBoundPruning && m.cfg.MinSubspaceImpact > 0 &&
+			m.eng.DimMaxImpactShare(dim.Name) < m.cfg.MinSubspaceImpact {
+			// Even the dimension's heaviest value cannot reach the frontier
+			// threshold, so every child this scan could produce would be
+			// filtered below: skip the group-by entirely.
+			delta.boundScanSkips++
 			continue
 		}
 		unit, err := m.eng.MaterializeUnit(u.subspace, dim.Name)
@@ -1069,7 +1106,7 @@ func (m *Miner) processDataPattern(u *workUnit, rec *recorder, delta *statDelta)
 		se := m.evaluateScope(rec, ds, series, temporal)
 		for _, t := range se.ValidTypes() {
 			delta.patternsFound++
-			produced = append(produced, m.emitMetaInsightUnits(rec, ds, t, u.impact)...)
+			produced = append(produced, m.emitMetaInsightUnits(rec, ds, t, u.impact, delta)...)
 		}
 	}
 	return produced
@@ -1095,7 +1132,7 @@ func (m *Miner) evaluateScope(rec *recorder, ds model.DataScope, series *engine.
 // compute-unit candidate per resulting HDS. Deduplication across anchors and
 // Pruning 2 are applied by the dispatcher at commit time, so candidate
 // filtering is deterministic in commit order.
-func (m *Miner) emitMetaInsightUnits(rec *recorder, ds model.DataScope, t pattern.Type, impactS float64) []*workUnit {
+func (m *Miner) emitMetaInsightUnits(rec *recorder, ds model.DataScope, t pattern.Type, impactS float64, delta *statDelta) []*workUnit {
 	tab := m.eng.Table()
 	var produced []*workUnit
 
@@ -1120,6 +1157,14 @@ func (m *Miner) emitMetaInsightUnits(rec *recorder, ds model.DataScope, t patter
 			continue
 		}
 		hds := core.SubspaceHDS(ds, f.Dim, col.Domain())
+		if m.cfg.EnableBoundPruning && m.cfg.EnablePruning2 && m.cfg.MinImpact > 0 &&
+			m.eng.ImpactShareUpperBound(hds.RootSubspace()) < m.cfg.MinImpact {
+			// The HDS impact (the root subspace's true impact) cannot reach
+			// MinImpact, so Pruning 2 would discard this candidate at commit:
+			// cut it here, before the root-impact query is ever issued.
+			delta.boundSkips++
+			continue
+		}
 		// Impact_HDS = Impact(subspace without the extended filter), by
 		// additivity of the impact measure over the sibling group.
 		rootImpact, probe, err := m.eng.ImpactUnmetered(hds.RootSubspace())

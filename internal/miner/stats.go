@@ -18,6 +18,9 @@ func (s Stats) String() string {
 	if s.SStarCut > 0 {
 		fmt.Fprintf(&b, " sstar-cut=%d", s.SStarCut)
 	}
+	if s.BoundSkips > 0 || s.BoundScanSkips > 0 {
+		fmt.Fprintf(&b, " bound-cut[emit=%d scan=%d]", s.BoundSkips, s.BoundScanSkips)
+	}
 	fmt.Fprintf(&b, " queries[exec=%d aug=%d served=%d]",
 		s.ExecutedQueries, s.AugmentedQueries, s.CacheServed)
 	fmt.Fprintf(&b, " cost=%.1f qcache=%.1f%% pcache=%.1f%%",
@@ -82,6 +85,8 @@ type statsJSON struct {
 	Pruned1          int64          `json:"pruned_1"`
 	Pruned2          int64          `json:"pruned_2"`
 	SStarCut         int64          `json:"sstar_cut"`
+	BoundSkips       int64          `json:"bound_skips"`
+	BoundScanSkips   int64          `json:"bound_scan_skips"`
 	PrefetchFailures int64          `json:"prefetch_failures"`
 	FailedUnits      int64          `json:"failed_units"`
 	Retries          int64          `json:"retries"`
@@ -116,6 +121,8 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		Pruned1:          s.Pruned1,
 		Pruned2:          s.Pruned2,
 		SStarCut:         s.SStarCut,
+		BoundSkips:       s.BoundSkips,
+		BoundScanSkips:   s.BoundScanSkips,
 		PrefetchFailures: s.PrefetchFailures,
 		FailedUnits:      s.FailedUnits,
 		Retries:          s.Retries,
@@ -153,6 +160,8 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		Pruned1:             j.Pruned1,
 		Pruned2:             j.Pruned2,
 		SStarCut:            j.SStarCut,
+		BoundSkips:          j.BoundSkips,
+		BoundScanSkips:      j.BoundScanSkips,
 		PrefetchFailures:    j.PrefetchFailures,
 		FailedUnits:         j.FailedUnits,
 		Retries:             j.Retries,

@@ -108,6 +108,8 @@ type statDelta struct {
 	metaInsightUnits int64
 	patternsFound    int64
 	pruned1          int64
+	boundSkips       int64
+	boundScanSkips   int64
 	shortSeriesSkips int64
 	extractErrors    int64
 }

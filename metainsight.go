@@ -410,6 +410,16 @@ func WithTopKPruning(k int) Option {
 	return func(o *analyzerOptions) { o.minerCfg.TopK = k; o.topKSet = true }
 }
 
+// WithoutBoundPruning disables the impact-sum bound cuts (on by default):
+// the miner issues every frontier query instead of skipping candidates whose
+// precomputed impact upper bound cannot reach the pruning thresholds. Mined
+// MetaInsights are identical either way — the bounds are sound, so a cut
+// candidate would have been discarded after its scan — making this toggle an
+// ablation/debugging knob for comparing query counts and costs.
+func WithoutBoundPruning() Option {
+	return func(o *analyzerOptions) { o.minerCfg.EnableBoundPruning = false }
+}
+
 // WithoutQueryCache disables the query cache (ablation runs).
 func WithoutQueryCache() Option {
 	return func(o *analyzerOptions) { o.disableQC = true }
